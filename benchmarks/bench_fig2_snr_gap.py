@@ -1,0 +1,20 @@
+"""Fig. 2 benchmark — the SNR gap between required and actual SNR."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import fig2
+
+
+def test_fig2_snr_gap(benchmark):
+    result = run_once(benchmark, lambda: fig2.run())
+    fig2.print_result(result)
+
+    assert result.gap_always_positive()
+    gaps = result.gaps_db
+    benchmark.extra_info["min_gap_db"] = float(gaps.min())
+    benchmark.extra_info["max_gap_db"] = float(gaps.max())
+    # Paper's headline example: ~4.7 dB gap at measured 15 dB; our channel
+    # realisations produce gaps of the same order, always > 0.
+    assert 0.5 < gaps.min()
+    assert gaps.max() < 15.0

@@ -1,0 +1,16 @@
+"""Fig. 3 benchmark — decoder-input BER vs measured SNR at 24 Mbps."""
+
+from conftest import run_once
+from repro.experiments import fig3
+
+
+def test_fig3_decoder_ber(benchmark):
+    result = run_once(benchmark, lambda: fig3.run())
+    fig3.print_result(result)
+
+    assert result.redundant_increases_with_snr()
+    first, last = result.points[0], result.points[-1]
+    assert first.actual_ber > last.actual_ber
+    assert last.redundant_ber > 0
+    benchmark.extra_info["ber_at_min_required"] = result.reference_ber
+    benchmark.extra_info["redundant_ber_at_band_top"] = last.redundant_ber

@@ -1,0 +1,17 @@
+"""Fig. 5 benchmark — per-subcarrier EVM at three receiver positions."""
+
+from conftest import run_once
+from repro.experiments import fig5
+
+
+def test_fig5_per_subcarrier_evm(benchmark):
+    result = run_once(benchmark, lambda: fig5.run())
+    fig5.print_result(result)
+
+    # Frequency selectivity visible at every position; severity A > C,
+    # with spreads of the paper's order (up to ~13-20 %).
+    for position in ("A", "B", "C"):
+        assert result.spread_percent(position) > 1.0
+    assert result.spread_percent("A") > result.spread_percent("C")
+    for position in ("A", "B", "C"):
+        benchmark.extra_info[f"spread_pct_{position}"] = result.spread_percent(position)

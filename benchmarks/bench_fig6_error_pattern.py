@@ -1,0 +1,20 @@
+"""Fig. 6 benchmark — symbol-error distribution within a packet."""
+
+from conftest import run_once
+from repro.experiments import fig6
+
+
+def test_fig6_symbol_error_pattern(benchmark):
+    result = run_once(benchmark, lambda: fig6.run())
+    fig6.print_result(result)
+
+    period = result.dominant_period()
+    share = result.weak_subcarrier_error_share(8)
+    benchmark.extra_info["dominant_period"] = period
+    benchmark.extra_info["weak8_error_share"] = share
+
+    # The paper's two claims: the positional error pattern repeats with
+    # period ≈ 48 (the data-subcarrier count), and a few weak subcarriers
+    # produce most of the symbol errors.
+    assert 44 <= period <= 52
+    assert share > 8 / 48

@@ -1,0 +1,28 @@
+"""Fig. 9 benchmark — capacity of free control messages (Rm vs SNR).
+
+The headline figure of the paper: how many silence symbols per second the
+channel code can absorb at a 99.3 % packet reception rate, per rate band.
+"""
+
+from conftest import run_once
+from repro.experiments import fig9
+
+
+def test_fig9_control_capacity(benchmark):
+    result = run_once(benchmark, lambda: fig9.run())
+    fig9.print_result(result)
+
+    for mbps in (12, 54):
+        benchmark.extra_info[f"ceiling_rm_{mbps}mbps"] = result.ceiling(mbps)
+
+    # Shape claims of §IV-B:
+    # 1. the QPSK-1/2 band sustains the largest Rm, the 64QAM-3/4 band the
+    #    smallest (paper: 148k vs 33k silences/s);
+    assert result.ceiling(12) > result.ceiling(54)
+    # 2. at fixed modulation the lower code rate sustains more silences;
+    assert result.ceiling(12) >= result.ceiling(18) * 0.7
+    assert result.ceiling(24) >= result.ceiling(36) * 0.7
+    # 3. Rm does not collapse anywhere in the operating range.
+    assert all(p.rm_per_sec > 0 for p in result.points)
+    # 4. every accepted operating point met the PRR target.
+    assert all(p.prr >= 0.95 for p in result.points)

@@ -1,0 +1,46 @@
+"""Network-level benchmark — what free control messages buy a WLAN.
+
+Compares aggregate goodput and control-airtime share between explicit
+control frames (contending under DCF) and the CoS piggyback, across
+contention levels.  This is the paper's motivation (§I) made quantitative
+on our MAC substrate.
+"""
+
+from conftest import run_once
+from repro.mac.overhead import ControlScheme, run_overhead_comparison
+
+
+def test_mac_overhead_comparison(benchmark):
+    def sweep():
+        rows = []
+        for n_stations in (2, 4, 8):
+            explicit = run_overhead_comparison(
+                ControlScheme.EXPLICIT, n_stations=n_stations, seed=7
+            )
+            cos = run_overhead_comparison(
+                ControlScheme.COS, n_stations=n_stations, seed=7
+            )
+            rows.append(
+                (
+                    n_stations,
+                    explicit.goodput_mbps,
+                    cos.goodput_mbps,
+                    explicit.control_airtime_fraction,
+                    cos.control_airtime_fraction,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    from repro.experiments.common import print_table
+
+    print_table(
+        ["stations", "goodput explicit", "goodput CoS", "ctrl airtime explicit", "ctrl airtime CoS"],
+        rows,
+        title="Network overhead — explicit control frames vs CoS",
+    )
+    for n_stations, g_exp, g_cos, a_exp, a_cos in rows:
+        assert g_cos >= g_exp  # free control never hurts goodput
+        assert a_cos == 0.0
+        assert a_exp > 0.0
+    benchmark.extra_info["goodput_gain_8sta"] = rows[-1][2] - rows[-1][1]

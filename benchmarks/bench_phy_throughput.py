@@ -1,0 +1,53 @@
+"""PHY component throughput benchmarks (implementation sanity).
+
+These time the hot paths of the simulator itself — useful when changing
+the Viterbi or modulation internals, and a rough guide to experiment
+budgets (a 512-B packet round trip should stay in the tens of ms).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro.phy.convcode import conv_encode
+from repro.phy.viterbi import ViterbiDecoder, hard_bits_to_llrs
+
+PSDU = build_mpdu(bytes(range(256)) * 2)
+
+
+def test_transmit_24mbps(benchmark):
+    tx = Transmitter()
+    frame = benchmark(lambda: tx.transmit(PSDU, RATE_TABLE[24]))
+    assert frame.waveform.size > 0
+
+
+def test_receive_24mbps(benchmark):
+    frame = Transmitter().transmit(PSDU, RATE_TABLE[24])
+    channel = IndoorChannel.position("B", snr_db=20.0, seed=1)
+    waveform = channel.transmit(frame.waveform)
+    rx = Receiver()
+    result = benchmark(lambda: rx.receive(waveform))
+    assert result.ok
+
+
+def test_viterbi_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    info = rng.integers(0, 2, 4096, dtype=np.uint8)
+    llrs = hard_bits_to_llrs(conv_encode(info))
+    decoder = ViterbiDecoder(terminated=False)
+    decoded = benchmark(lambda: decoder.decode(llrs))
+    assert np.array_equal(decoded[:-8], info[:-8])
+
+
+def test_full_cos_exchange(benchmark):
+    from repro.cos import CosLink
+
+    channel = IndoorChannel.position("A", snr_db=15.0, seed=5)
+    link = CosLink(channel=channel)
+    bits = [0, 1] * 8
+
+    outcome = benchmark.pedantic(
+        lambda: link.exchange(bytes(400), bits), rounds=5, iterations=1
+    )
+    assert outcome.data_ok

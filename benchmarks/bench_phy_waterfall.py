@@ -1,0 +1,24 @@
+"""PHY conformance benchmark — PER waterfalls per rate.
+
+Substrate validation: monotone waterfalls, rate ordering, and the
+hard-decision union bound sitting above the soft decoder's performance.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import waterfall
+
+
+def test_phy_waterfall(benchmark):
+    result = run_once(benchmark, lambda: waterfall.run())
+    waterfall.print_result(result)
+
+    for mbps in result.per:
+        assert result.monotone_non_increasing(mbps), f"{mbps} Mbps not monotone"
+    assert result.rates_ordered()
+    # Sanity anchors: BPSK-1/2 works single-digit dB; 64QAM-3/4 does not.
+    assert result.snr_for_per(6) <= 8.0
+    assert result.snr_for_per(54) >= 14.0
+    for mbps in result.per:
+        benchmark.extra_info[f"snr_per10_{mbps}mbps"] = result.snr_for_per(mbps)

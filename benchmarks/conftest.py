@@ -1,0 +1,14 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper figure at quick scale and prints the
+same rows/series the paper reports (run with ``-s`` to see the tables;
+key scalar outcomes are also attached as ``extra_info`` on the benchmark
+record).  Set ``REPRO_FULL=1`` for paper-scale statistics.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,59 @@
+"""Free block-ACKs: acknowledge a data stream without ACK airtime.
+
+The paper motivates CoS with access coordination: control frames cost
+airtime (an 802.11a ACK burns ~44 µs of preamble+SIGNAL+payload at the
+base rate, per packet).  Here station B streams data to station A while
+simultaneously acknowledging the *reverse* stream's sequence numbers over
+CoS silence symbols — the ACK channel rides inside data packets it was
+going to send anyway.
+
+The script compares the airtime budget of explicit ACK frames against the
+CoS piggyback and reports the delivered-ACK accuracy.
+
+Run:  python examples/free_ack_piggyback.py
+"""
+
+import numpy as np
+
+from repro import CosLink, IndoorChannel
+from repro.cos import AckMessage, decode_message, encode_message
+
+EXPLICIT_ACK_AIRTIME_US = 44.0  # preamble 20 us + ACK @ 6 Mbps, plus SIFS
+
+
+def main():
+    channel = IndoorChannel.position("B", snr_db=18.0, seed=11)
+    link = CosLink(channel=channel)
+    payload = bytes(800)
+
+    n_packets = 30
+    acked, delivered_acks = 0, []
+    link.exchange(payload, [])  # bootstrap subcarrier feedback
+
+    for seq in range(n_packets):
+        ack = AckMessage(seq=seq)
+        outcome = link.exchange(payload, encode_message(ack))
+        if outcome.data_ok and outcome.control_ok:
+            received = decode_message(outcome.control_received)
+            delivered_acks.append(received.seq)
+            acked += 1
+
+    cos_airtime = 0.0
+    explicit_airtime = n_packets * EXPLICIT_ACK_AIRTIME_US
+
+    print(f"packets carrying a piggybacked block-ACK: {n_packets}")
+    print(f"ACKs delivered intact over CoS:           {acked} "
+          f"({acked / n_packets * 100:.1f} %)")
+    print(f"sequence numbers received: {delivered_acks[:10]} ...")
+    print()
+    print(f"airtime for explicit ACK frames: {explicit_airtime:8.1f} µs")
+    print(f"airtime for CoS acks:            {cos_airtime:8.1f} µs")
+    print(f"airtime saved:                   {explicit_airtime:8.1f} µs "
+          f"({explicit_airtime / 1e3:.2f} ms per {n_packets} packets)")
+    print()
+    print("Lost ACKs simply fall back to the normal MAC retransmission path —")
+    print("CoS control is opportunistic, the data plane never depends on it.")
+
+
+if __name__ == "__main__":
+    main()

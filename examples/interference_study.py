@@ -1,0 +1,64 @@
+"""Interference study: where CoS breaks, and how gracefully.
+
+The paper is explicit about its limits (§IV-C): strong pulse interference
+raises the energy of silence symbols above the detection threshold, so
+silences are missed and control messages are lost — while the data plane
+survives longer thanks to the channel code.  This script sweeps the pulse
+interferer's duty cycle and reports data PRR, control accuracy, and the
+controller's fallback behaviour.
+
+Run:  python examples/interference_study.py
+"""
+
+import numpy as np
+
+from repro import CosLink, IndoorChannel
+from repro.channel import PulseInterferer
+
+
+def session(duty_cycle: float, n_packets: int = 20) -> dict:
+    interferer = (
+        PulseInterferer(
+            pulse_power=8.0,
+            symbol_probability=duty_cycle,
+            rng=np.random.default_rng(99),
+        )
+        if duty_cycle > 0
+        else None
+    )
+    channel = IndoorChannel.position(
+        "B", snr_db=19.0, seed=8, interferer=interferer
+    )
+    link = CosLink(channel=channel)
+    stats = link.run(n_packets=n_packets, payload=bytes(500))
+    fallbacks = sum(
+        1 for o in stats.outcomes if not o.data_ok
+    )
+    return {
+        "prr": stats.prr,
+        "msg_accuracy": stats.message_accuracy,
+        "mean_fn": float(np.mean([o.detection_fn for o in stats.outcomes])),
+        "fallbacks": fallbacks,
+    }
+
+
+def main():
+    print("pulse duty | data PRR | control msg acc | silence FN | rate fallbacks")
+    print("-" * 72)
+    for duty in (0.0, 0.05, 0.15, 0.3, 0.5):
+        r = session(duty)
+        print(
+            f"   {duty:4.2f}    |  {r['prr'] * 100:5.1f} % |"
+            f"     {r['msg_accuracy'] * 100:5.1f} %     |"
+            f"   {r['mean_fn']:.3f}    |      {r['fallbacks']}"
+        )
+    print()
+    print("Reading: the control channel degrades first (missed silences ->")
+    print("broken intervals) while the data plane rides the channel code; on")
+    print("data failures the sender drops to the lowest control rate, exactly")
+    print("the fallback rule of §III-F.  The paper's position: strong")
+    print("interference is the MAC coordination layer's problem, not CoS's.")
+
+
+if __name__ == "__main__":
+    main()

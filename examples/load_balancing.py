@@ -1,0 +1,93 @@
+"""AP load balancing over the free control channel.
+
+Two access points serve a shared area.  Each AP continuously reports its
+load (station count + utilisation level) to its associated clients by
+embedding :class:`LoadReport` messages into ordinary downlink traffic —
+no beacons stuffed with vendor IEs, no extra management frames.  Clients
+compare the freshest reports and steer to the lighter AP.
+
+The script simulates a few steering rounds and prints the decisions.
+
+Run:  python examples/load_balancing.py
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import CosLink, IndoorChannel
+from repro.cos import LoadReport, decode_message, encode_message
+
+
+@dataclass
+class AccessPoint:
+    name: str
+    link: CosLink
+    station_count: int
+    load_level: int  # 0..15 quantised utilisation
+
+    def downlink(self, payload: bytes) -> Optional[LoadReport]:
+        """Send one data packet carrying the current load report."""
+        report = LoadReport(
+            station_count=self.station_count, load_level=self.load_level
+        )
+        outcome = self.link.exchange(payload, encode_message(report))
+        if outcome.data_ok and outcome.control_ok:
+            return decode_message(outcome.control_received)
+        return None
+
+
+def main():
+    rng = np.random.default_rng(3)
+    payload = bytes(600)
+
+    ap1 = AccessPoint(
+        "AP-1",
+        CosLink(channel=IndoorChannel.position("B", snr_db=19.0, seed=21)),
+        station_count=12,
+        load_level=11,
+    )
+    ap2 = AccessPoint(
+        "AP-2",
+        CosLink(channel=IndoorChannel.position("B", snr_db=18.5, seed=22)),
+        station_count=4,
+        load_level=3,
+    )
+    for ap in (ap1, ap2):
+        ap.link.exchange(payload, [])  # bootstrap feedback
+
+    client_on = ap1
+    print("client associated to AP-1 (overloaded)\n")
+
+    for round_id in range(6):
+        reports = {}
+        for ap in (ap1, ap2):
+            report = ap.downlink(payload)
+            if report is not None:
+                reports[ap.name] = report
+
+        line = ", ".join(
+            f"{name}: {r.station_count} stations, load {r.load_level}/15"
+            for name, r in sorted(reports.items())
+        )
+        print(f"round {round_id}: {line or 'no reports received'}")
+
+        if len(reports) == 2:
+            lighter = min(reports, key=lambda n: reports[n].load_level)
+            target = ap1 if lighter == "AP-1" else ap2
+            if target is not client_on:
+                client_on = target
+                print(f"         -> client steers to {lighter} "
+                      "(decision made on free control messages)")
+
+        # Load drifts a little between rounds.
+        ap1.load_level = int(np.clip(ap1.load_level + rng.integers(-1, 2), 0, 15))
+        ap2.load_level = int(np.clip(ap2.load_level + rng.integers(-1, 2), 0, 15))
+
+    print(f"\nclient ends on {client_on.name}")
+    print("control airtime consumed by the steering protocol: 0 µs")
+
+
+if __name__ == "__main__":
+    main()

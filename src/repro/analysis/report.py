@@ -1,0 +1,89 @@
+"""Markdown report generation from experiment results.
+
+``python -m repro.cli report [path]`` runs every figure harness and
+writes a self-contained results file — the programmatic companion to the
+hand-annotated ``EXPERIMENTS.md``.  Useful after changing the simulator:
+regenerate and diff.
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+__all__ = ["generate_report", "write_report"]
+
+
+def _capture(fn: Callable[[], None]) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        fn()
+    return buffer.getvalue().strip()
+
+
+def generate_report(stages: Optional[List[str]] = None) -> str:
+    """Run the requested experiment stages and return a markdown report."""
+    from repro.experiments import (
+        ablations,
+        fig2,
+        fig3,
+        fig5,
+        fig6,
+        fig7,
+        fig9,
+        fig10,
+        network,
+        waterfall,
+    )
+    from repro.experiments.common import full_mode
+
+    catalogue: List[Tuple[str, str, Callable[[], None]]] = [
+        ("fig2", "Fig. 2 — SNR gap", lambda: fig2.print_result(fig2.run())),
+        ("fig3", "Fig. 3 — decoder-input BER", lambda: fig3.print_result(fig3.run())),
+        ("fig5", "Fig. 5 — per-subcarrier EVM", lambda: fig5.print_result(fig5.run())),
+        ("fig6", "Fig. 6 — symbol error pattern", lambda: fig6.print_result(fig6.run())),
+        ("fig7", "Fig. 7 — temporal stability", lambda: fig7.print_result(fig7.run())),
+        ("fig9", "Fig. 9 — control capacity", lambda: fig9.print_result(fig9.run())),
+        ("fig10", "Fig. 10 — detection accuracy", lambda: fig10.print_result(fig10.run())),
+        (
+            "ablations",
+            "Ablations — placement and EVD",
+            lambda: (
+                ablations.print_placement(ablations.run_placement()),
+                ablations.print_evd(ablations.run_evd()),
+            ),
+        ),
+        ("network", "Network — explicit vs CoS control",
+         lambda: network.print_result(network.run())),
+        ("waterfall", "PHY waterfall validation",
+         lambda: waterfall.print_result(waterfall.run())),
+    ]
+    selected = [
+        entry for entry in catalogue if stages is None or entry[0] in stages
+    ]
+
+    scale = "paper scale (REPRO_FULL=1)" if full_mode() else "quick scale"
+    parts = [
+        "# CoS reproduction — generated results",
+        "",
+        f"Run mode: **{scale}**. Regenerate with "
+        "`python -m repro.cli report`.",
+        "",
+    ]
+    for key, title, fn in selected:
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(_capture(fn))
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(path: Union[str, Path], stages: Optional[List[str]] = None) -> Path:
+    """Generate and write the report; returns the path written."""
+    path = Path(path)
+    path.write_text(generate_report(stages))
+    return path

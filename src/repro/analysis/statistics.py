@@ -1,0 +1,45 @@
+"""Small statistics helpers: empirical CDFs and binomial confidence bounds."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["empirical_cdf", "binomial_confidence", "wilson_interval"]
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (sorted values, cumulative probabilities) for plotting a CDF."""
+    values = np.sort(np.asarray(list(samples), dtype=np.float64))
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    probs = np.arange(1, values.size + 1) / values.size
+    return values, probs
+
+
+def binomial_confidence(successes: int, trials: int, level: float = 0.95) -> Tuple[float, float]:
+    """Clopper–Pearson exact interval for a success probability."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in 0..trials")
+    alpha = 1.0 - level
+    low = 0.0 if successes == 0 else stats.beta.ppf(alpha / 2, successes, trials - successes + 1)
+    high = 1.0 if successes == trials else stats.beta.ppf(
+        1 - alpha / 2, successes + 1, trials - successes
+    )
+    return float(low), float(high)
+
+
+def wilson_interval(successes: int, trials: int, level: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval (cheaper, good small-sample behaviour)."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    z = stats.norm.ppf(0.5 + level / 2.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = z * np.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    return float(max(0.0, centre - half)), float(min(1.0, centre + half))

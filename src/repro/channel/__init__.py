@@ -1,0 +1,43 @@
+"""Indoor wireless channel substrate (the paper's lab, in software).
+
+Provides frequency-selective multipath with named severity positions
+(A/B/C), AWGN, walking-speed temporal evolution, pulse interference, and
+the sounder/NIC SNR dichotomy behind the paper's SNR gap.
+"""
+
+from repro.channel.awgn import add_awgn, complex_gaussian
+from repro.channel.interference import PulseInterferer
+from repro.channel.link import IndoorChannel
+from repro.channel.multipath import (
+    POSITION_PROFILES,
+    TappedDelayLine,
+    exponential_pdp,
+    rayleigh_taps,
+)
+from repro.channel.sounder import actual_snr_db, measured_snr_db, per_subcarrier_snr
+from repro.channel.traces import ChannelTrace, ReplayChannelSequence, TraceRecorder
+from repro.channel.temporal import (
+    GaussMarkovEvolution,
+    doppler_for_speed,
+    jakes_correlation,
+)
+
+__all__ = [
+    "add_awgn",
+    "complex_gaussian",
+    "PulseInterferer",
+    "IndoorChannel",
+    "POSITION_PROFILES",
+    "TappedDelayLine",
+    "exponential_pdp",
+    "rayleigh_taps",
+    "actual_snr_db",
+    "measured_snr_db",
+    "per_subcarrier_snr",
+    "ChannelTrace",
+    "ReplayChannelSequence",
+    "TraceRecorder",
+    "GaussMarkovEvolution",
+    "doppler_for_speed",
+    "jakes_correlation",
+]

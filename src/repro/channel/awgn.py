@@ -1,0 +1,23 @@
+"""Additive white Gaussian noise."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["add_awgn", "complex_gaussian"]
+
+
+def complex_gaussian(shape, variance: float, rng: np.random.Generator) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian samples with total variance."""
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    scale = np.sqrt(variance / 2.0)
+    return scale * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+
+
+def add_awgn(waveform: np.ndarray, noise_var: float, rng: np.random.Generator) -> np.ndarray:
+    """Return ``waveform`` plus complex AWGN of per-sample variance ``noise_var``."""
+    waveform = np.asarray(waveform, dtype=np.complex128)
+    if noise_var == 0:
+        return waveform.copy()
+    return waveform + complex_gaussian(waveform.shape, noise_var, rng)

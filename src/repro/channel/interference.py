@@ -1,0 +1,65 @@
+"""Interference sources for the robustness experiments (Fig. 10d).
+
+The paper injects random *pulse signals* to emulate strong co-channel
+interference (hidden WLAN nodes, ZigBee).  ``PulseInterferer`` adds
+high-power wideband bursts of roughly one OFDM-symbol duration at random
+positions in the waveform; when such a burst lands on a silence symbol
+its subcarrier energy rises above the detection threshold and the silence
+is missed (a false negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.awgn import complex_gaussian
+from repro.phy.params import SYMBOL_SAMPLES
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["PulseInterferer"]
+
+
+@dataclass
+class PulseInterferer:
+    """Random strong pulses.
+
+    Parameters
+    ----------
+    pulse_power:
+        Per-sample power of each burst (the paper's pulses dwarf the
+        signal, whose average power is 1.0 in this library).
+    symbol_probability:
+        Probability that any given OFDM-symbol-length window carries a
+        burst.
+    burst_samples:
+        Burst duration; defaults to one OFDM symbol (80 samples).
+    """
+
+    pulse_power: float = 10.0
+    symbol_probability: float = 0.05
+    burst_samples: int = SYMBOL_SAMPLES
+    rng: RngLike = None
+
+    def __post_init__(self):
+        if self.pulse_power < 0:
+            raise ValueError("pulse_power must be non-negative")
+        if not 0.0 <= self.symbol_probability <= 1.0:
+            raise ValueError("symbol_probability must be in [0, 1]")
+        self.rng = make_rng(self.rng)
+
+    def apply(self, waveform: np.ndarray) -> np.ndarray:
+        """Return ``waveform`` with random bursts added."""
+        waveform = np.asarray(waveform, dtype=np.complex128).copy()
+        n_windows = waveform.size // self.burst_samples
+        if n_windows == 0 or self.symbol_probability == 0.0:
+            return waveform
+        hits = self.rng.random(n_windows) < self.symbol_probability
+        for w in np.nonzero(hits)[0]:
+            start = w * self.burst_samples
+            stop = min(start + self.burst_samples, waveform.size)
+            waveform[start:stop] += complex_gaussian(
+                stop - start, self.pulse_power, self.rng
+            )
+        return waveform

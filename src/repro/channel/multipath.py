@@ -1,0 +1,134 @@
+"""Frequency-selective multipath: tapped delay lines with exponential PDP.
+
+Indoor propagation is modelled as an FIR channel whose taps are complex
+Gaussian with exponentially decaying power (the classic indoor NLOS
+profile).  With a 20 Msps sample clock each tap is 50 ns of excess delay;
+all profiles keep the delay spread inside the 0.8 µs cyclic prefix, so
+the channel is a clean per-subcarrier multiplication H_k after the FFT —
+which is exactly the frequency-selective fading the paper measures in
+Figs. 5–6.
+
+Three named severity profiles stand in for the paper's receiver positions
+A/B/C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.channel.awgn import complex_gaussian
+from repro.phy.params import N_FFT
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["TappedDelayLine", "exponential_pdp", "rayleigh_taps", "POSITION_PROFILES"]
+
+
+def exponential_pdp(n_taps: int, decay_taps: float) -> np.ndarray:
+    """Normalised exponential power-delay profile (sums to 1).
+
+    ``decay_taps`` is the 1/e decay constant in units of taps (50 ns each).
+    """
+    if n_taps < 1:
+        raise ValueError("n_taps must be >= 1")
+    if decay_taps <= 0:
+        raise ValueError("decay_taps must be positive")
+    powers = np.exp(-np.arange(n_taps) / decay_taps)
+    return powers / powers.sum()
+
+
+def rayleigh_taps(pdp: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draw one complex-Gaussian tap realisation following ``pdp``."""
+    pdp = np.asarray(pdp, dtype=np.float64)
+    return complex_gaussian(pdp.shape, 1.0, rng) * np.sqrt(pdp)
+
+
+# Severity profiles standing in for the paper's receiver positions.  More
+# taps and slower decay => larger delay spread => deeper frequency
+# selectivity (position A shows the most EVM spread in Fig. 5).  The
+# numbers are calibrated so the median per-link EVM spread across
+# subcarriers matches the paper's observations (up to ~13-18 % at
+# position A, milder at B and C) and the frequency-selectivity part of
+# the SNR gap lands near the paper's ~1.7 dB at position A.
+POSITION_PROFILES: Dict[str, Dict[str, float]] = {
+    "A": {"n_taps": 3, "decay_taps": 0.6},
+    "B": {"n_taps": 2, "decay_taps": 0.45},
+    "C": {"n_taps": 2, "decay_taps": 0.3},
+}
+
+
+@dataclass
+class TappedDelayLine:
+    """A realised FIR channel.
+
+    Attributes
+    ----------
+    taps:
+        Complex impulse response; ``taps[0]`` is the direct path.
+    """
+
+    taps: np.ndarray
+
+    @classmethod
+    def from_profile(
+        cls,
+        n_taps: int,
+        decay_taps: float,
+        rng: RngLike = None,
+        normalize: bool = True,
+    ) -> "TappedDelayLine":
+        """Draw a random realisation of an exponential-PDP channel.
+
+        ``normalize=True`` rescales the draw to exactly unit energy so the
+        average received power (and hence SNR bookkeeping) is deterministic.
+        """
+        rng = make_rng(rng)
+        taps = rayleigh_taps(exponential_pdp(n_taps, decay_taps), rng)
+        if normalize:
+            energy = np.sum(np.abs(taps) ** 2)
+            if energy > 0:
+                taps = taps / np.sqrt(energy)
+        return cls(taps=np.asarray(taps, dtype=np.complex128))
+
+    @classmethod
+    def for_position(cls, name: str, rng: RngLike = None) -> "TappedDelayLine":
+        """Draw a channel for named severity profile "A", "B" or "C"."""
+        try:
+            profile = POSITION_PROFILES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown position {name!r}; valid: {sorted(POSITION_PROFILES)}"
+            ) from None
+        return cls.from_profile(int(profile["n_taps"]), profile["decay_taps"], rng)
+
+    @classmethod
+    def identity(cls) -> "TappedDelayLine":
+        """The flat (AWGN-only) channel."""
+        return cls(taps=np.array([1.0 + 0.0j]))
+
+    def frequency_response(self, n_fft: int = N_FFT) -> np.ndarray:
+        """Per-subcarrier gains H_k on FFT bins 0..n_fft-1."""
+        return np.fft.fft(self.taps, n_fft)
+
+    def apply(self, waveform: np.ndarray) -> np.ndarray:
+        """Convolve ``waveform`` with the impulse response (causal, truncated).
+
+        The output keeps the input length: the delay-spread tail beyond the
+        last sample is dropped, and the cyclic prefix absorbs the leading
+        inter-symbol interference exactly as in hardware.
+        """
+        waveform = np.asarray(waveform, dtype=np.complex128)
+        return np.convolve(waveform, self.taps)[: waveform.size]
+
+    @property
+    def delay_spread_s(self) -> float:
+        """RMS delay spread in seconds (50 ns per tap at 20 Msps)."""
+        powers = np.abs(self.taps) ** 2
+        total = powers.sum()
+        if total == 0:
+            return 0.0
+        delays = np.arange(self.taps.size) * 50e-9
+        mean = np.sum(powers * delays) / total
+        return float(np.sqrt(np.sum(powers * (delays - mean) ** 2) / total))

@@ -1,0 +1,54 @@
+"""Channel sounder: ground-truth SNR figures (substitute for the paper's
+channel sounder equipment) plus the NIC's flawed estimate.
+
+Two SNR notions appear in Fig. 2:
+
+* **actual SNR** — what the sounder reports: average received signal power
+  over noise power, i.e. the arithmetic mean of per-subcarrier SNRs.
+* **measured SNR** — what the receiver NIC reports.  The paper notes this
+  estimate "ignores frequency selective fading and is dragged to a low
+  value by those fading subcarriers"; the post-ZF-equalisation effective
+  SNR (the harmonic mean of per-subcarrier SNRs, i.e. the inverse of the
+  average noise-enhancement) has exactly that property and is what NICs
+  derive from EVM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.ofdm import DATA_BINS, subcarrier_noise_variance
+
+__all__ = [
+    "per_subcarrier_snr",
+    "actual_snr_db",
+    "measured_snr_db",
+]
+
+_TINY = 1e-15
+
+
+def per_subcarrier_snr(h: np.ndarray, time_noise_var: float) -> np.ndarray:
+    """Linear SNR on each data subcarrier for unit-energy symbols."""
+    h = np.asarray(h, dtype=np.complex128)
+    gains = np.abs(h[DATA_BINS] if h.size == 64 else h) ** 2
+    noise = max(subcarrier_noise_variance(time_noise_var), _TINY)
+    return gains / noise
+
+
+def actual_snr_db(h: np.ndarray, time_noise_var: float) -> float:
+    """Sounder-style SNR: arithmetic mean of per-subcarrier SNRs, in dB."""
+    snrs = per_subcarrier_snr(h, time_noise_var)
+    return float(10.0 * np.log10(max(snrs.mean(), _TINY)))
+
+
+def measured_snr_db(h: np.ndarray, time_noise_var: float) -> float:
+    """NIC-style SNR: harmonic mean of per-subcarrier SNRs, in dB.
+
+    Always <= :func:`actual_snr_db` (AM–HM inequality), with the gap
+    growing with frequency selectivity — the second cause of the paper's
+    SNR gap.
+    """
+    snrs = np.maximum(per_subcarrier_snr(h, time_noise_var), _TINY)
+    harmonic = snrs.size / np.sum(1.0 / snrs)
+    return float(10.0 * np.log10(max(harmonic, _TINY)))

@@ -1,0 +1,113 @@
+"""Channel trace recording and replay.
+
+The paper's measurements are trace-driven ("only mobile traces are
+presented…").  This module records a channel's evolution — the complex
+taps at each step — to an ``.npz`` file and replays it later, so an
+experiment can be re-run bit-for-bit against the *same* fading trajectory
+(e.g. to compare two CoS variants on identical channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.channel.multipath import TappedDelayLine
+
+__all__ = ["ChannelTrace", "TraceRecorder", "ReplayChannelSequence"]
+
+
+@dataclass
+class ChannelTrace:
+    """A recorded fading trajectory.
+
+    Attributes
+    ----------
+    taps:
+        ``(n_steps, n_taps)`` complex tap snapshots.
+    timestamps_s:
+        Monotone times of each snapshot.
+    """
+
+    taps: np.ndarray
+    timestamps_s: np.ndarray
+
+    def __post_init__(self):
+        self.taps = np.atleast_2d(np.asarray(self.taps, dtype=np.complex128))
+        self.timestamps_s = np.asarray(self.timestamps_s, dtype=np.float64)
+        if self.taps.shape[0] != self.timestamps_s.size:
+            raise ValueError("one timestamp per tap snapshot required")
+        if self.timestamps_s.size and np.any(np.diff(self.timestamps_s) < 0):
+            raise ValueError("timestamps must be monotone non-decreasing")
+
+    @property
+    def n_steps(self) -> int:
+        return self.taps.shape[0]
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to ``.npz``."""
+        np.savez_compressed(
+            Path(path), taps=self.taps, timestamps_s=self.timestamps_s
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ChannelTrace":
+        with np.load(Path(path)) as data:
+            return cls(taps=data["taps"], timestamps_s=data["timestamps_s"])
+
+
+class TraceRecorder:
+    """Record a channel's taps as an experiment evolves it."""
+
+    def __init__(self):
+        self._taps: List[np.ndarray] = []
+        self._times: List[float] = []
+        self._clock = 0.0
+
+    def snapshot(self, tdl: TappedDelayLine, elapsed_s: float = 0.0) -> None:
+        """Record the current taps, ``elapsed_s`` after the previous one."""
+        if elapsed_s < 0:
+            raise ValueError("elapsed_s must be non-negative")
+        self._clock += elapsed_s
+        self._taps.append(tdl.taps.copy())
+        self._times.append(self._clock)
+
+    def finish(self) -> ChannelTrace:
+        if not self._taps:
+            raise ValueError("nothing recorded")
+        return ChannelTrace(
+            taps=np.stack(self._taps), timestamps_s=np.array(self._times)
+        )
+
+
+class ReplayChannelSequence:
+    """Step through a recorded trace, yielding TappedDelayLine states.
+
+    Drop-in for experiments that call ``channel.evolve`` between packets:
+    instead, call :meth:`next_channel` to get the channel for each packet
+    in recorded order.
+    """
+
+    def __init__(self, trace: ChannelTrace):
+        if trace.n_steps == 0:
+            raise ValueError("empty trace")
+        self.trace = trace
+        self._index = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= self.trace.n_steps
+
+    def next_channel(self) -> TappedDelayLine:
+        """The next recorded channel state; raises past the end."""
+        if self.exhausted:
+            raise StopIteration("trace exhausted")
+        tdl = TappedDelayLine(taps=self.trace.taps[self._index].copy())
+        self._index += 1
+        return tdl
+
+    def rewind(self) -> None:
+        self._index = 0

@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``info``
+    Print the 802.11a rate table, rate-adaptation thresholds, channel
+    severity profiles, and the default control-rate table.
+``experiments [fig2 fig3 ...]``
+    Run the figure harnesses (all by default) and print their tables.
+``link --snr DB --position P --packets N``
+    Run a closed-loop CoS session and print its statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoS (Communication through Symbol Silence) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print rate tables and channel profiles")
+
+    exp = sub.add_parser("experiments", help="run figure harnesses")
+    exp.add_argument("figures", nargs="*", help="subset, e.g. fig2 fig9 ablations")
+
+    link = sub.add_parser("link", help="run a closed-loop CoS session")
+    link.add_argument("--snr", type=float, default=15.0, help="measured SNR in dB")
+    link.add_argument("--position", default="A", choices=["A", "B", "C"])
+    link.add_argument("--packets", type=int, default=50)
+    link.add_argument("--payload", type=int, default=512, help="payload bytes")
+    link.add_argument("--seed", type=int, default=5)
+    link.add_argument("--predictor", action="store_true", help="enable EVM smoothing")
+
+    report = sub.add_parser("report", help="run experiments and write a markdown report")
+    report.add_argument("path", nargs="?", default="RESULTS.md")
+    report.add_argument("--stages", nargs="*", default=None,
+                        help="subset, e.g. fig2 waterfall")
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro.cos.rate_control import DEFAULT_RM_TABLE
+    from repro.channel.multipath import POSITION_PROFILES
+    from repro.experiments.common import print_table
+    from repro.phy.params import RATE_TABLE
+    from repro.rateadapt import DEFAULT_THRESHOLDS
+
+    print_table(
+        ["Mbps", "modulation", "code rate", "bits/sym", "min SNR dB", "Rm low", "Rm high"],
+        [
+            (
+                mbps,
+                rate.modulation,
+                str(rate.code_rate),
+                rate.n_dbps,
+                DEFAULT_THRESHOLDS[mbps],
+                int(DEFAULT_RM_TABLE[mbps][0]),
+                int(DEFAULT_RM_TABLE[mbps][1]),
+            )
+            for mbps, rate in sorted(RATE_TABLE.items())
+        ],
+        title="802.11a rates, adaptation thresholds, control-rate table",
+    )
+    print_table(
+        ["position", "taps", "decay (taps)"],
+        [
+            (name, int(p["n_taps"]), p["decay_taps"])
+            for name, p in sorted(POSITION_PROFILES.items())
+        ],
+        title="Indoor severity profiles",
+    )
+    return 0
+
+
+def _cmd_experiments(figures: List[str]) -> int:
+    from repro.experiments.runner import main as run_experiments
+
+    return run_experiments(figures)
+
+
+def _cmd_link(args) -> int:
+    from repro.channel import IndoorChannel
+    from repro.cos import CosLink, EvmPredictor
+
+    channel = IndoorChannel.position(args.position, snr_db=args.snr, seed=args.seed)
+    link = CosLink(channel=channel)
+    if args.predictor:
+        link.rx.predictor = EvmPredictor()
+    stats = link.run(n_packets=args.packets, payload=bytes(args.payload))
+    print(f"position {args.position} @ measured {args.snr} dB "
+          f"(actual {channel.actual_snr_db:.1f} dB), {args.packets} packets")
+    print(f"  data PRR:                 {stats.prr * 100:6.2f} %")
+    print(f"  control (whole packet):   {stats.control_accuracy * 100:6.2f} %")
+    print(f"  control (per message):    {stats.message_accuracy * 100:6.2f} %")
+    print(f"  control bits delivered:   {stats.control_bits_delivered}")
+    print(f"  silence symbols inserted: {stats.total_silences}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "experiments":
+        return _cmd_experiments(args.figures)
+    if args.command == "link":
+        return _cmd_link(args)
+    if args.command == "report":
+        from repro.analysis.report import write_report
+
+        path = write_report(args.path, stages=args.stages)
+        print(f"wrote {path}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Per-subcarrier error vector magnitude — the paper's channel-quality
+metric (eq. (1)) and its temporal-change metric (eq. (2)).
+
+EVM is computed from CRC-clean packets only: the receiver re-encodes the
+decoded bits to reconstruct the ideal constellation points, then compares
+them with the equalised received symbols (§III-D).  Silence symbols are
+excluded — their "error vector" is the signal itself, not channel noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.modulation import Modulation
+from repro.phy.params import N_DATA_SUBCARRIERS
+
+__all__ = ["per_subcarrier_evm", "nabla_evm", "error_vector_magnitudes"]
+
+
+def _validate(received: np.ndarray, reference: np.ndarray) -> None:
+    if received.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {received.shape} vs {reference.shape}")
+    if received.ndim != 2 or received.shape[1] != N_DATA_SUBCARRIERS:
+        raise ValueError("expected (n_symbols, 48) symbol grids")
+
+
+def per_subcarrier_evm(
+    received: np.ndarray,
+    reference: np.ndarray,
+    modulation: Modulation,
+    exclude_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """EVM per data subcarrier, eq. (1), as a fraction (multiply by 100 for %).
+
+    Parameters
+    ----------
+    received / reference:
+        ``(n_symbols, 48)`` equalised vs ideal constellation points.
+    modulation:
+        Supplies the constellation for the RMS reference power
+        (1/M * sum |s_m|^2 — unity for the normalised 802.11a maps, but
+        computed explicitly to follow the paper's definition).
+    exclude_mask:
+        ``(n_symbols, 48)`` bool; True cells (silence symbols) are dropped
+        from the average.
+    """
+    received = np.asarray(received, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    _validate(received, reference)
+
+    err2 = np.abs(received - reference) ** 2
+    if exclude_mask is not None:
+        exclude_mask = np.asarray(exclude_mask, dtype=bool)
+        if exclude_mask.shape != received.shape:
+            raise ValueError("exclude_mask shape mismatch")
+        weights = (~exclude_mask).astype(np.float64)
+    else:
+        weights = np.ones_like(err2)
+
+    counts = weights.sum(axis=0)
+    sums = (err2 * weights).sum(axis=0)
+    mean_err2 = np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
+
+    const = modulation.constellation
+    ref_power = float(np.mean(np.abs(const) ** 2))
+    return np.sqrt(mean_err2 / ref_power)
+
+
+def error_vector_magnitudes(
+    received: np.ndarray,
+    reference: np.ndarray,
+    exclude_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Mean |error vector| per subcarrier — the vector D(t) of eq. (2)."""
+    received = np.asarray(received, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    _validate(received, reference)
+    err = np.abs(received - reference)
+    if exclude_mask is not None:
+        keep = ~np.asarray(exclude_mask, dtype=bool)
+        counts = keep.sum(axis=0)
+        sums = (err * keep).sum(axis=0)
+        return np.divide(sums, counts, out=np.zeros(err.shape[1]), where=counts > 0)
+    return err.mean(axis=0)
+
+
+def nabla_evm(d_now: np.ndarray, d_later: np.ndarray) -> float:
+    """Normalised EVM change between two snapshots, eq. (2).
+
+    ∇EVM(τ) = ||D(t) − D(t+τ)||_2 / ||D(t+τ)||_2 with the Euclidean norm.
+    Small values mean the frequency-diversity pattern is stable and the
+    receiver can predict next-packet subcarrier quality.
+    """
+    d_now = np.asarray(d_now, dtype=np.float64)
+    d_later = np.asarray(d_later, dtype=np.float64)
+    if d_now.shape != d_later.shape:
+        raise ValueError("snapshot shapes differ")
+    denom = np.linalg.norm(d_later)
+    if denom == 0:
+        raise ValueError("reference snapshot has zero norm")
+    return float(np.linalg.norm(d_now - d_later) / denom)

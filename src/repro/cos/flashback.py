@@ -1,0 +1,144 @@
+"""Flashback-style baseline: control via intended *interference* spikes.
+
+The closest prior art the paper argues against ([20] hJam, [21]
+Flashback, §V): instead of silencing its own symbols, a node injects
+short high-power time-domain spikes ("flashes") on top of the
+transmission and encodes bits in the flash positions.
+
+Modelled faithfully to the original design:
+
+* a flash is a **single-sample** spike of ``flash_power`` times the data
+  sample power (the paper quotes 64x).  The FFT spreads its energy evenly
+  over all 64 bins, so the flashed OFDM symbol sees roughly one extra
+  signal-power's worth of wideband interference — degraded, not erased;
+* the receiver detects flashes in the **time domain** (a 64x spike is
+  unmistakable) and interval-decodes their symbol positions;
+* we grant the baseline perfect sample alignment, which real Flashback —
+  transmitted by a *different*, unsynchronised node — does not get.
+
+The measurable critiques from §V, which the tests pin down:
+
+* **detect/harm dilemma** — a spike strong enough to stand clear of
+  OFDM's peak-to-average ratio (~64x) puts signal-level interference on
+  every subcarrier of its symbol (SIR ~0 dB), and because 802.11a
+  interleaves per symbol, that symbol's data is unrecoverable: the
+  flashed packet dies.  A gentle spike (~8x) lets the data live but
+  drowns in the signal's own PAPR peaks — undetectable.  CoS's silences
+  have *infinite* negative contrast at zero transmit power, dissolving
+  the dilemma;
+* **energy** — each flash costs ``flash_power`` sample-energies of extra
+  transmit power; silences save energy;
+* **rate** — one flash lane per packet versus one CoS lane per control
+  subcarrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cos.intervals import IntervalCodec
+from repro.phy.params import CP_LEN, SYMBOL_SAMPLES
+from repro.phy.preamble import PREAMBLE_SAMPLES
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["FlashPlan", "FlashbackTransmitter", "FlashbackDetector", "FLASH_POWER"]
+
+FLASH_POWER = 64.0  # spike power relative to unit data sample power
+_FLASH_OFFSET = CP_LEN + 7  # sample within the symbol carrying the spike
+
+
+@dataclass(frozen=True)
+class FlashPlan:
+    """Chosen flash positions for one packet."""
+
+    symbol_indices: np.ndarray  # OFDM data-symbol indices carrying a flash
+    embedded_bits: np.ndarray
+
+    @property
+    def n_flashes(self) -> int:
+        return int(self.symbol_indices.size)
+
+
+class FlashbackTransmitter:
+    """Adds interval-coded single-sample flashes onto a waveform."""
+
+    def __init__(self, codec: Optional[IntervalCodec] = None,
+                 flash_power: float = FLASH_POWER, rng: RngLike = None):
+        if flash_power <= 0:
+            raise ValueError("flash_power must be positive")
+        self.codec = codec or IntervalCodec()
+        self.flash_power = flash_power
+        self.rng = make_rng(rng)
+
+    def plan(self, control_bits: Sequence[int], n_data_symbols: int) -> FlashPlan:
+        """Interval-code bits onto OFDM-symbol positions (a single lane)."""
+        bits = np.asarray(control_bits, dtype=np.uint8)
+        k = self.codec.k
+        bits = bits[: (bits.size // k) * k]
+        positions = [0]
+        n_groups = 0
+        for value in self.codec.bits_to_intervals(bits):
+            nxt = positions[-1] + value + 1
+            if nxt >= n_data_symbols:
+                break
+            positions.append(nxt)
+            n_groups += 1
+        if n_groups == 0:
+            return FlashPlan(
+                symbol_indices=np.zeros(0, dtype=np.int64),
+                embedded_bits=bits[:0],
+            )
+        return FlashPlan(
+            symbol_indices=np.asarray(positions, dtype=np.int64),
+            embedded_bits=bits[: n_groups * k],
+        )
+
+    def apply(self, waveform: np.ndarray, plan: FlashPlan) -> np.ndarray:
+        """Add one spike per flashed symbol (perfect sample alignment)."""
+        out = np.asarray(waveform, dtype=np.complex128).copy()
+        amp = np.sqrt(self.flash_power)
+        for symbol_idx in plan.symbol_indices:
+            pos = (
+                PREAMBLE_SAMPLES
+                + SYMBOL_SAMPLES * (1 + int(symbol_idx))
+                + _FLASH_OFFSET
+            )
+            if pos < out.size:
+                phase = np.exp(2j * np.pi * self.rng.random())
+                out[pos] += amp * phase
+        return out
+
+    def energy_cost(self, plan: FlashPlan) -> float:
+        """Extra transmit energy, in units of data-sample energies."""
+        return self.flash_power * plan.n_flashes
+
+
+class FlashbackDetector:
+    """Detects flashes as time-domain amplitude spikes."""
+
+    def __init__(self, threshold_factor: float = 25.0,
+                 codec: Optional[IntervalCodec] = None):
+        if threshold_factor <= 1.0:
+            raise ValueError("threshold_factor must exceed 1")
+        self.threshold_factor = threshold_factor
+        self.codec = codec or IntervalCodec()
+
+    def detect(self, samples: np.ndarray, n_data_symbols: int) -> np.ndarray:
+        """Flashed data-symbol indices from the raw received waveform."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        power = np.abs(samples) ** 2
+        if power.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        floor = np.mean(power)
+        spikes = np.nonzero(power > self.threshold_factor * floor)[0]
+        symbols = (spikes - PREAMBLE_SAMPLES) // SYMBOL_SAMPLES - 1
+        symbols = symbols[(symbols >= 0) & (symbols < n_data_symbols)]
+        return np.unique(symbols)
+
+    def recover_bits(self, samples: np.ndarray, n_data_symbols: int) -> np.ndarray:
+        """Interval-decode the detected flash positions."""
+        positions = self.detect(samples, n_data_symbols)
+        return self.codec.positions_to_bits(positions.tolist())

@@ -1,0 +1,116 @@
+"""Interval modulation: control bits <-> gaps between silence symbols.
+
+CoS encodes k bits (k = 4 in the paper) in the number of *normal* symbols
+between two consecutive silence symbols on the control subcarriers
+(§II-A).  The first silence symbol marks the start of the message; each
+subsequent interval of length v in [0, 2^k - 1] spells one k-bit group,
+MSB first (the paper's example maps "0010" -> 2 and "0110" -> 6).
+
+Positions are indices into the *control symbol stream*: the control
+subcarriers of each OFDM symbol scanned slot-major (all control
+subcarriers of slot 1, then slot 2, …) — consistent with Fig. 1(a), where
+S1,4 followed by S2,5 over six subcarriers is an interval of 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.bitops import bits_to_int, int_to_bits
+
+__all__ = ["IntervalCodec"]
+
+
+@dataclass(frozen=True)
+class IntervalCodec:
+    """Bidirectional mapping between bit strings and silence positions.
+
+    Parameters
+    ----------
+    k:
+        Bits per interval; the maximum interval length is ``2**k - 1``.
+    """
+
+    k: int = 4
+
+    def __post_init__(self):
+        if not 1 <= self.k <= 16:
+            raise ValueError("k must be in 1..16")
+
+    @property
+    def max_interval(self) -> int:
+        return (1 << self.k) - 1
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def bits_to_intervals(self, bits: Sequence[int]) -> List[int]:
+        """Group ``bits`` (length multiple of k) into interval values."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % self.k != 0:
+            raise ValueError(f"bit count {bits.size} is not a multiple of k={self.k}")
+        groups = bits.reshape(-1, self.k)
+        return [bits_to_int(g, lsb_first=False) for g in groups]
+
+    def bits_to_positions(self, bits: Sequence[int]) -> List[int]:
+        """Silence-symbol positions in the control stream for ``bits``.
+
+        Position 0 is always silent (the start marker); each interval v
+        places the next silence v + 1 positions later.
+        """
+        positions = [0]
+        for value in self.bits_to_intervals(bits):
+            positions.append(positions[-1] + value + 1)
+        return positions
+
+    def positions_needed(self, n_bits: int) -> int:
+        """Worst-case stream length for ``n_bits`` (every interval maximal)."""
+        if n_bits % self.k != 0:
+            raise ValueError(f"bit count {n_bits} is not a multiple of k={self.k}")
+        n_intervals = n_bits // self.k
+        return 1 + n_intervals * (self.max_interval + 1)
+
+    def expected_positions(self, n_bits: int) -> float:
+        """Average stream length for uniform random bits.
+
+        Each interval consumes E[v] + 1 = (2^k - 1)/2 + 1 positions.
+        """
+        n_intervals = n_bits / self.k
+        return 1 + n_intervals * ((self.max_interval / 2.0) + 1.0)
+
+    def silences_for(self, n_bits: int) -> int:
+        """Silence symbols spent on ``n_bits`` (start marker + one each)."""
+        if n_bits % self.k != 0:
+            raise ValueError(f"bit count {n_bits} is not a multiple of k={self.k}")
+        return 1 + n_bits // self.k
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def positions_to_bits(self, positions: Sequence[int]) -> np.ndarray:
+        """Recover bits from detected silence positions (sorted ascending).
+
+        Intervals larger than ``max_interval`` are invalid — they signal a
+        missed silence symbol — and raise ``ValueError`` so callers can
+        count the message as lost rather than silently corrupting it.
+        """
+        positions = sorted(int(p) for p in positions)
+        if len(positions) < 2:
+            return np.zeros(0, dtype=np.uint8)
+        out: List[np.ndarray] = []
+        for prev, cur in zip(positions, positions[1:]):
+            value = cur - prev - 1
+            if value < 0:
+                raise ValueError("duplicate silence positions")
+            if value > self.max_interval:
+                raise ValueError(
+                    f"interval {value} exceeds max {self.max_interval} "
+                    "(missed silence symbol?)"
+                )
+            out.append(int_to_bits(value, self.k, lsb_first=False))
+        return np.concatenate(out)

@@ -1,0 +1,123 @@
+"""Typed control messages carried over the CoS channel.
+
+The paper motivates CoS with upper-layer uses — access coordination,
+resource allocation, load balancing (§I).  This module gives the examples
+and tests a small, concrete message vocabulary: each message serialises to
+a 4-bit type tag plus a fixed-width payload, with total widths chosen as
+multiples of k = 4 so messages pack cleanly into interval groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Type
+
+import numpy as np
+
+from repro.utils.bitops import bits_to_int, int_to_bits
+
+__all__ = [
+    "ControlMessage",
+    "AckMessage",
+    "LoadReport",
+    "RateRequest",
+    "AirtimeGrant",
+    "encode_message",
+    "decode_message",
+]
+
+_TYPE_BITS = 4
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Base class; subclasses define TYPE_ID and field widths."""
+
+    TYPE_ID: ClassVar[int] = -1
+    FIELDS: ClassVar[Dict[str, int]] = {}
+
+    def to_bits(self) -> np.ndarray:
+        parts = [int_to_bits(self.TYPE_ID, _TYPE_BITS, lsb_first=False)]
+        for name, width in self.FIELDS.items():
+            parts.append(int_to_bits(getattr(self, name), width, lsb_first=False))
+        return np.concatenate(parts)
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "ControlMessage":
+        bits = np.asarray(bits, dtype=np.uint8)
+        expected = cls.n_bits()
+        if bits.size != expected:
+            raise ValueError(f"{cls.__name__} needs {expected} bits, got {bits.size}")
+        offset = _TYPE_BITS
+        kwargs = {}
+        for name, width in cls.FIELDS.items():
+            kwargs[name] = bits_to_int(bits[offset : offset + width], lsb_first=False)
+            offset += width
+        return cls(**kwargs)
+
+    @classmethod
+    def n_bits(cls) -> int:
+        return _TYPE_BITS + sum(cls.FIELDS.values())
+
+
+@dataclass(frozen=True)
+class AckMessage(ControlMessage):
+    """Block-ack style acknowledgement of a sequence number (16 bits)."""
+
+    seq: int = 0
+    TYPE_ID: ClassVar[int] = 1
+    FIELDS: ClassVar[Dict[str, int]] = {"seq": 12}
+
+
+@dataclass(frozen=True)
+class LoadReport(ControlMessage):
+    """AP load report for client steering / load balancing (16 bits)."""
+
+    station_count: int = 0  # 0..255
+    load_level: int = 0  # quantised utilisation 0..15
+    TYPE_ID: ClassVar[int] = 2
+    FIELDS: ClassVar[Dict[str, int]] = {"station_count": 8, "load_level": 4}
+
+
+@dataclass(frozen=True)
+class RateRequest(ControlMessage):
+    """Receiver asks the sender to switch PHY rate (8 bits)."""
+
+    rate_index: int = 0  # index into RATES_MBPS
+    TYPE_ID: ClassVar[int] = 3
+    FIELDS: ClassVar[Dict[str, int]] = {"rate_index": 4}
+
+
+@dataclass(frozen=True)
+class AirtimeGrant(ControlMessage):
+    """Access coordination: grant a station a number of tx slots (20 bits)."""
+
+    station: int = 0  # 0..255
+    slots: int = 0  # 0..255
+    TYPE_ID: ClassVar[int] = 4
+    FIELDS: ClassVar[Dict[str, int]] = {"station": 8, "slots": 8}
+
+
+_REGISTRY: Dict[int, Type[ControlMessage]] = {
+    cls.TYPE_ID: cls for cls in (AckMessage, LoadReport, RateRequest, AirtimeGrant)
+}
+
+
+def encode_message(message: ControlMessage) -> np.ndarray:
+    """Serialise a message to its bit representation."""
+    if message.TYPE_ID not in _REGISTRY:
+        raise ValueError(f"unregistered message type {type(message).__name__}")
+    return message.to_bits()
+
+
+def decode_message(bits: np.ndarray) -> ControlMessage:
+    """Parse one message from ``bits`` (which must be exactly one message)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size < _TYPE_BITS:
+        raise ValueError("too few bits for a message header")
+    type_id = bits_to_int(bits[:_TYPE_BITS], lsb_first=False)
+    try:
+        cls = _REGISTRY[type_id]
+    except KeyError:
+        raise ValueError(f"unknown message type id {type_id}") from None
+    return cls.from_bits(bits)

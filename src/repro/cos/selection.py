@@ -1,0 +1,154 @@
+"""Control-subcarrier selection and its silence-coded feedback (§III-D).
+
+After a CRC-clean packet the receiver compares each subcarrier's EVM with
+half the minimum constellation distance (Dm/2) of the *next* packet's
+modulation: a symbol whose error vector exceeds Dm/2 lands in the wrong
+decision region, so such subcarriers will produce symbol errors anyway —
+making them the cheapest hosts for silence symbols.
+
+The selected set is fed back as a bit vector V occupying a single OFDM
+symbol in which a silence on subcarrier j means "j is a control
+subcarrier" — CoS bootstraps its own feedback channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.phy.modulation import Modulation
+from repro.phy.params import N_DATA_SUBCARRIERS
+
+__all__ = ["SubcarrierSelector", "FeedbackCodec", "SelectionResult"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one selection round.
+
+    Attributes
+    ----------
+    subcarriers:
+        Sorted logical indices (0..47) chosen as control subcarriers.
+    bit_vector:
+        Length-48 uint8 vector V (1 = selected), the feedback payload.
+    threshold:
+        The Dm/2 value the EVMs were compared against.
+    """
+
+    subcarriers: List[int]
+    bit_vector: np.ndarray
+    threshold: float
+
+
+class SubcarrierSelector:
+    """EVM-vs-Dm/2 subcarrier selection.
+
+    Parameters
+    ----------
+    min_count / max_count:
+        Bounds on the selected set size.  The paper's threshold rule alone
+        can select zero subcarriers on a clean channel (no control channel
+        at all) or dozens on a bad one (overwhelming the code budget);
+        the rate controller supplies the cap, and ``min_count`` guarantees
+        the weakest subcarriers are used even when none cross Dm/2.
+    detectability_factor:
+        Detectability guard.  Silence detection needs the *weakest active
+        constellation point* on a control subcarrier to sit well above the
+        noise floor: ``e_min * snr_k >= detectability_factor``, where
+        ``e_min`` is the modulation's minimum symbol energy and
+        ``snr_k ≈ 1 / EVM_k^2``.  Subcarriers failing the guard (too
+        deeply faded — an active symbol there already looks like silence)
+        are only used as a last resort.  The per-modulation EVM ceiling is
+        ``sqrt(e_min / detectability_factor)``.
+    evm_ceiling:
+        Explicit ceiling overriding the computed one (mostly for tests).
+    """
+
+    def __init__(
+        self,
+        min_count: int = 1,
+        max_count: int = 16,
+        detectability_factor: float = 60.0,
+        evm_ceiling: Optional[float] = None,
+    ):
+        if min_count < 0 or max_count < max(min_count, 1):
+            raise ValueError("require 0 <= min_count <= max_count and max_count >= 1")
+        if detectability_factor <= 0:
+            raise ValueError("detectability_factor must be positive")
+        if evm_ceiling is not None and evm_ceiling <= 0:
+            raise ValueError("evm_ceiling must be positive")
+        self.min_count = min_count
+        self.max_count = max_count
+        self.detectability_factor = detectability_factor
+        self.evm_ceiling = evm_ceiling
+
+    def ceiling_for(self, modulation: Modulation) -> float:
+        """EVM ceiling above which silences on a subcarrier are undetectable."""
+        if self.evm_ceiling is not None:
+            return self.evm_ceiling
+        return float(np.sqrt(modulation.min_symbol_energy / self.detectability_factor))
+
+    def select(
+        self,
+        evms: np.ndarray,
+        modulation: Modulation,
+        target_count: Optional[int] = None,
+    ) -> SelectionResult:
+        """Choose control subcarriers from per-subcarrier EVM.
+
+        ``evms`` is the EVM *fraction* per data subcarrier (eq. (1)).
+        ``target_count`` (from the rate controller) overrides the set size
+        while still preferring the weakest subcarriers.
+        """
+        evms = np.asarray(evms, dtype=np.float64)
+        if evms.shape != (N_DATA_SUBCARRIERS,):
+            raise ValueError(f"expected 48 EVM values, got shape {evms.shape}")
+        # EVM is normalised by RMS constellation power; Dm is a distance in
+        # the same normalised space.
+        threshold = modulation.min_distance / 2.0
+
+        if target_count is not None:
+            count = int(np.clip(target_count, self.min_count, self.max_count))
+        else:
+            count = int(np.count_nonzero(evms > threshold))
+            count = int(np.clip(count, self.min_count, self.max_count))
+
+        # Preference order: weakest *detectable* subcarriers first (highest
+        # EVM at or below the ceiling), then the too-dead ones (least dead
+        # first) only if the budget cannot otherwise be met.
+        ceiling = self.ceiling_for(modulation)
+        indices = np.arange(N_DATA_SUBCARRIERS)
+        alive = indices[evms <= ceiling]
+        dead = indices[evms > ceiling]
+        alive_ranked = alive[np.argsort(evms[alive])[::-1]]
+        dead_ranked = dead[np.argsort(evms[dead])]
+        order = np.concatenate([alive_ranked, dead_ranked])
+        chosen = sorted(int(i) for i in order[:count])
+
+        bit_vector = np.zeros(N_DATA_SUBCARRIERS, dtype=np.uint8)
+        bit_vector[chosen] = 1
+        return SelectionResult(subcarriers=chosen, bit_vector=bit_vector, threshold=threshold)
+
+
+class FeedbackCodec:
+    """Encode/decode the selection bit vector as one silence-coded symbol."""
+
+    @staticmethod
+    def encode(subcarriers: Sequence[int]) -> np.ndarray:
+        """A ``(1, 48)`` silence mask: silence on each selected subcarrier."""
+        mask = np.zeros((1, N_DATA_SUBCARRIERS), dtype=bool)
+        for c in subcarriers:
+            if not 0 <= int(c) < N_DATA_SUBCARRIERS:
+                raise ValueError("subcarrier indices must be in 0..47")
+            mask[0, int(c)] = True
+        return mask
+
+    @staticmethod
+    def decode(mask: np.ndarray) -> List[int]:
+        """Recover the selected set from a detected feedback-symbol mask."""
+        mask = np.asarray(mask, dtype=bool)
+        row = mask.reshape(-1, N_DATA_SUBCARRIERS)[0]
+        return [int(i) for i in np.nonzero(row)[0]]

@@ -1,0 +1,131 @@
+"""Reliable in-order byte delivery over the lossy CoS control channel.
+
+The raw CoS channel is a datagram service: each data packet carries some
+control bits, and a missed/spurious silence loses that packet's message.
+Applications that need more (configuration blobs, multi-part reports) can
+run this minimal stop-and-wait ARQ on top:
+
+* the sender splits its payload into fixed chunks, each framed as
+  ``seq (4b) | data (16b) | checksum (4b)`` — 24 bits, a whole number of
+  interval groups;
+* the receiver validates the checksum, delivers in-order chunks, ignores
+  duplicates, and returns the next-expected sequence number as its ack
+  (carried back over the reverse link's CoS channel);
+* the sender retransmits the current chunk until it is acked.
+
+Stop-and-wait is the right complexity here: a CoS carrier departs with
+every data packet anyway, so the "window" is the data traffic itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.bitops import bits_to_bytes, bits_to_int, bytes_to_bits, int_to_bits
+
+__all__ = ["CHUNK_BITS", "FRAME_BITS", "ReliableControlSender", "ReliableControlReceiver"]
+
+SEQ_BITS = 4
+CHUNK_BITS = 16
+CHECKSUM_BITS = 4
+FRAME_BITS = SEQ_BITS + CHUNK_BITS + CHECKSUM_BITS
+_SEQ_MOD = 1 << SEQ_BITS
+
+
+def _checksum(bits: np.ndarray) -> int:
+    """4-bit XOR of the header+data nibbles."""
+    nibbles = bits.reshape(-1, 4)
+    out = 0
+    for nibble in nibbles:
+        out ^= bits_to_int(nibble, lsb_first=False)
+    return out
+
+
+def _frame(seq: int, chunk_bits: np.ndarray) -> np.ndarray:
+    body = np.concatenate([int_to_bits(seq, SEQ_BITS, lsb_first=False), chunk_bits])
+    return np.concatenate([body, int_to_bits(_checksum(body), CHECKSUM_BITS, lsb_first=False)])
+
+
+def _parse(frame_bits: np.ndarray) -> Optional[tuple]:
+    frame_bits = np.asarray(frame_bits, dtype=np.uint8)
+    if frame_bits.size != FRAME_BITS:
+        return None
+    body = frame_bits[: SEQ_BITS + CHUNK_BITS]
+    check = bits_to_int(frame_bits[SEQ_BITS + CHUNK_BITS :], lsb_first=False)
+    if _checksum(body) != check:
+        return None
+    seq = bits_to_int(body[:SEQ_BITS], lsb_first=False)
+    return seq, body[SEQ_BITS:]
+
+
+class ReliableControlSender:
+    """Stop-and-wait sender; one frame per outgoing data packet."""
+
+    def __init__(self, data: bytes):
+        if not data:
+            raise ValueError("data must be non-empty")
+        bits = bytes_to_bits(data)
+        pad = (-bits.size) % CHUNK_BITS
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+        self._chunks = bits.reshape(-1, CHUNK_BITS)
+        self._n_pad_bits = pad
+        self._next = 0  # index of the first unacked chunk
+
+    @property
+    def done(self) -> bool:
+        return self._next >= len(self._chunks)
+
+    @property
+    def chunks_total(self) -> int:
+        return len(self._chunks)
+
+    def next_payload(self) -> np.ndarray:
+        """The control bits to embed in the next data packet."""
+        if self.done:
+            raise StopIteration("all chunks acknowledged")
+        seq = self._next % _SEQ_MOD
+        return _frame(seq, self._chunks[self._next])
+
+    def on_ack(self, ack_seq: int) -> None:
+        """Process the receiver's cumulative ack (next expected seq)."""
+        if self.done:
+            return
+        expected_ack = (self._next + 1) % _SEQ_MOD
+        if ack_seq % _SEQ_MOD == expected_ack:
+            self._next += 1
+
+
+class ReliableControlReceiver:
+    """Stop-and-wait receiver; returns the cumulative ack to send back."""
+
+    def __init__(self):
+        self._chunks: list = []
+
+    @property
+    def chunks_received(self) -> int:
+        return len(self._chunks)
+
+    def on_payload(self, control_bits: np.ndarray) -> int:
+        """Consume a received frame; returns the ack (next expected seq).
+
+        Corrupt or out-of-order frames leave the state unchanged (the
+        repeated ack triggers the sender's retransmission).
+        """
+        parsed = _parse(np.asarray(control_bits, dtype=np.uint8))
+        if parsed is not None:
+            seq, chunk = parsed
+            if seq == len(self._chunks) % _SEQ_MOD:
+                self._chunks.append(chunk)
+        return len(self._chunks) % _SEQ_MOD
+
+    def data(self, n_bytes: Optional[int] = None) -> bytes:
+        """Bytes assembled so far (optionally truncated to ``n_bytes``)."""
+        if not self._chunks:
+            return b""
+        bits = np.concatenate(self._chunks)
+        usable = (bits.size // 8) * 8
+        out = bits_to_bytes(bits[:usable])
+        return out if n_bytes is None else out[:n_bytes]

@@ -1,0 +1,76 @@
+"""ASCII rendering of the time–frequency grid (the paper's Fig. 1(a)).
+
+Terminal-friendly visualisation of where a packet's silence symbols sit:
+columns are OFDM symbols (time slots), rows are data subcarriers, ``█``
+marks a silence, ``·`` an active control-subcarrier cell, and space a
+plain data cell.  Used by the quickstart example and handy in a REPL::
+
+    print(render_silence_grid(plan.mask, control_subcarriers=[9, 12, 15]))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.phy.params import N_DATA_SUBCARRIERS
+
+__all__ = ["render_silence_grid"]
+
+
+def render_silence_grid(
+    mask: np.ndarray,
+    control_subcarriers: Optional[Sequence[int]] = None,
+    max_symbols: int = 60,
+    only_control_rows: bool = True,
+) -> str:
+    """Render a silence mask as ASCII art.
+
+    Parameters
+    ----------
+    mask:
+        ``(n_symbols, 48)`` boolean silence mask.
+    control_subcarriers:
+        Highlighted rows; defaults to every row containing a silence.
+    max_symbols:
+        Truncate the time axis (with an ellipsis marker) beyond this.
+    only_control_rows:
+        Show only the control rows (True) or all 48 subcarriers.
+    """
+    mask = np.atleast_2d(np.asarray(mask, dtype=bool))
+    if mask.shape[1] != N_DATA_SUBCARRIERS:
+        raise ValueError(f"expected 48 data subcarriers, got {mask.shape[1]}")
+    n_symbols = mask.shape[0]
+    shown = min(n_symbols, max_symbols)
+
+    if control_subcarriers is None:
+        control_subcarriers = sorted(int(c) for c in np.nonzero(mask.any(axis=0))[0])
+    control = set(int(c) for c in control_subcarriers)
+
+    rows = (
+        sorted(control)
+        if only_control_rows
+        else list(range(N_DATA_SUBCARRIERS))
+    )
+    if not rows:
+        return "(no silences planned)"
+
+    lines = []
+    header = "subcarrier ╲ time slot 0.." + str(shown - 1) + (
+        " (truncated)" if shown < n_symbols else ""
+    )
+    lines.append(header)
+    for subcarrier in rows:
+        cells = []
+        for slot in range(shown):
+            if mask[slot, subcarrier]:
+                cells.append("█")
+            elif subcarrier in control:
+                cells.append("·")
+            else:
+                cells.append(" ")
+        lines.append(f"{subcarrier:>4} │{''.join(cells)}│")
+    lines.append(f"     █ = silence symbol   · = active control cell   "
+                 f"({int(mask.sum())} silences)")
+    return "\n".join(lines)

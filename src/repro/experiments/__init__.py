@@ -1,0 +1,39 @@
+"""Experiment harnesses — one module per paper figure plus ablations.
+
+Each module exposes ``run(...) -> result`` and ``print_result(result)``;
+``python -m repro.experiments.runner`` executes every figure in sequence.
+Quick defaults keep the full suite to minutes; set ``REPRO_FULL=1`` for
+paper-scale statistics.
+"""
+
+from repro.experiments import (
+    ablations,
+    common,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    fig10,
+    network,
+    waterfall,
+)
+from repro.experiments.common import ExperimentConfig, full_mode, scaled
+
+__all__ = [
+    "ablations",
+    "common",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "network",
+    "waterfall",
+    "ExperimentConfig",
+    "full_mode",
+    "scaled",
+]

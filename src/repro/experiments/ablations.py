@@ -1,0 +1,196 @@
+"""Ablation studies for the design choices the paper argues for.
+
+1. **Placement** (§II-D): silences on the *weak* subcarriers overlap with
+   symbols that would have been corrupted anyway, so at a fixed insertion
+   rate the data PRR is at least as high as with random or strong-
+   subcarrier placement — equivalently, weak placement sustains a higher
+   Rm.
+2. **EVD vs error-only decoding** (§III-E): zeroing the bit metrics of
+   detected silences (erasures) beats letting the demapper treat the
+   noise-only observation as signal (errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cos.energy import EnergyDetector
+from repro.cos.silence import SilencePlanner
+from repro.experiments.common import ExperimentConfig, print_table, scaled
+from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro.phy.modulation import get_modulation
+from repro.phy.params import N_DATA_SUBCARRIERS
+
+__all__ = [
+    "PlacementResult",
+    "run_placement",
+    "EvdResult",
+    "run_evd",
+    "print_placement",
+    "print_evd",
+]
+
+
+def _subcarrier_order(channel, strategy: str, rng: np.random.Generator) -> np.ndarray:
+    gains = channel.data_subcarrier_snrs()
+    if strategy == "weak":
+        return np.argsort(gains)  # weakest first
+    if strategy == "strong":
+        return np.argsort(gains)[::-1]
+    if strategy == "random":
+        return rng.permutation(N_DATA_SUBCARRIERS)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _prr_with_placement(
+    config: ExperimentConfig,
+    snr_db: float,
+    rate_mbps: int,
+    n_control: int,
+    groups: int,
+    strategy: str,
+    n_packets: int,
+    use_erasures: bool = True,
+) -> float:
+    """PRR with ``groups`` interval groups on subcarriers picked by strategy.
+
+    Detection is bypassed (the true silence mask is used) so the ablation
+    isolates the *decoding* cost of placement, not detector behaviour.
+    """
+    rate = RATE_TABLE[rate_mbps]
+    tx = Transmitter()
+    rx = Receiver()
+    psdu = build_mpdu(config.payload)
+    rng = np.random.default_rng(config.seed + 13)
+    channel = config.channel(snr_db)
+    ok = 0
+    for _ in range(n_packets):
+        order = _subcarrier_order(channel, strategy, rng)
+        planner = SilencePlanner(sorted(int(c) for c in order[:n_control]))
+        bits = rng.integers(0, 2, size=4 * groups, dtype=np.uint8)
+        plan = planner.plan(bits, rate.n_symbols_for(len(psdu)))
+        frame = tx.transmit(psdu, rate, silence_mask=plan.mask)
+        result = rx.receive(
+            channel.transmit(frame.waveform),
+            erasure_mask=frame.silence_mask if use_erasures else None,
+        )
+        ok += result.ok
+        channel.evolve(1e-3)
+    return ok / n_packets
+
+
+@dataclass
+class PlacementResult:
+    """PRR by placement strategy at increasing insertion rates."""
+
+    groups_grid: List[int] = field(default_factory=list)
+    prr: Dict[str, List[float]] = field(default_factory=dict)
+
+    def weak_dominates(self) -> bool:
+        """Weak placement should never lose badly to the alternatives."""
+        weak = np.array(self.prr["weak"])
+        return all(
+            np.all(weak >= np.array(self.prr[s]) - 0.05)
+            for s in self.prr
+            if s != "weak"
+        )
+
+
+def run_placement(
+    config: Optional[ExperimentConfig] = None,
+    snr_db: float = 9.6,
+    rate_mbps: int = 18,
+    n_packets: Optional[int] = None,
+    groups_grid: Optional[Sequence[int]] = None,
+) -> PlacementResult:
+    config = config or ExperimentConfig()
+    n_packets = n_packets if n_packets is not None else scaled(20, 120)
+    rate = RATE_TABLE[rate_mbps]
+    n_symbols = rate.n_symbols_for(len(config.payload) + 4)
+    if groups_grid is None:
+        cap = int(16 * n_symbols / 8.5)
+        groups_grid = [max(cap // 4, 1), max(cap // 2, 2), max(3 * cap // 4, 3),
+                       max(int(0.95 * cap), 4)]
+
+    result = PlacementResult(groups_grid=list(groups_grid))
+    for strategy in ("weak", "random", "strong"):
+        result.prr[strategy] = [
+            _prr_with_placement(
+                config, snr_db, rate_mbps, 16, g, strategy, n_packets
+            )
+            for g in groups_grid
+        ]
+    return result
+
+
+@dataclass
+class EvdResult:
+    """PRR with erasure decoding vs error-only decoding."""
+
+    groups_grid: List[int] = field(default_factory=list)
+    prr_evd: List[float] = field(default_factory=list)
+    prr_error_only: List[float] = field(default_factory=list)
+
+    def evd_dominates(self) -> bool:
+        return all(e >= o - 0.05 for e, o in zip(self.prr_evd, self.prr_error_only))
+
+
+def run_evd(
+    config: Optional[ExperimentConfig] = None,
+    snr_db: float = 9.6,
+    rate_mbps: int = 18,
+    n_packets: Optional[int] = None,
+    groups_grid: Optional[Sequence[int]] = None,
+) -> EvdResult:
+    config = config or ExperimentConfig()
+    n_packets = n_packets if n_packets is not None else scaled(20, 120)
+    rate = RATE_TABLE[rate_mbps]
+    n_symbols = rate.n_symbols_for(len(config.payload) + 4)
+    if groups_grid is None:
+        cap = int(16 * n_symbols / 8.5)
+        groups_grid = [max(cap // 4, 1), max(cap // 2, 2), max(3 * cap // 4, 3),
+                       max(int(0.95 * cap), 4)]
+
+    result = EvdResult(groups_grid=list(groups_grid))
+    for groups in groups_grid:
+        result.prr_evd.append(
+            _prr_with_placement(
+                config, snr_db, rate_mbps, 16, groups, "weak", n_packets, use_erasures=True
+            )
+        )
+        result.prr_error_only.append(
+            _prr_with_placement(
+                config, snr_db, rate_mbps, 16, groups, "weak", n_packets, use_erasures=False
+            )
+        )
+    return result
+
+
+def print_placement(result: PlacementResult) -> None:
+    rows = []
+    for i, g in enumerate(result.groups_grid):
+        rows.append(
+            (g, result.prr["weak"][i], result.prr["random"][i], result.prr["strong"][i])
+        )
+    print_table(
+        ["interval groups/packet", "PRR weak", "PRR random", "PRR strong"],
+        rows,
+        title="Ablation — silence placement strategy",
+    )
+
+
+def print_evd(result: EvdResult) -> None:
+    rows = list(zip(result.groups_grid, result.prr_evd, result.prr_error_only))
+    print_table(
+        ["interval groups/packet", "PRR with EVD", "PRR error-only"],
+        rows,
+        title="Ablation — erasure vs error-only Viterbi decoding",
+    )
+
+
+if __name__ == "__main__":
+    print_placement(run_placement())
+    print_evd(run_evd())

@@ -1,0 +1,97 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Every experiment module exposes a ``run(config)`` returning a dataclass of
+plain arrays plus a ``print_result`` that renders the same rows/series the
+paper's figure reports.  Benchmarks call ``run`` with the quick defaults;
+set ``REPRO_FULL=1`` for paper-scale packet counts (slower, smoother
+curves, same shapes).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.channel import IndoorChannel
+from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro.phy.params import PhyRate
+
+__all__ = [
+    "full_mode",
+    "scaled",
+    "ExperimentConfig",
+    "print_table",
+    "send_probe_packets",
+    "DEFAULT_PAYLOAD",
+]
+
+DEFAULT_PAYLOAD = bytes(range(256)) * 2  # 512 B of known, non-trivial payload
+
+
+def full_mode() -> bool:
+    """True when REPRO_FULL=1 requests paper-scale runs."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+def scaled(quick: int, full: int) -> int:
+    """Pick a packet/trial budget according to the mode."""
+    return full if full_mode() else quick
+
+
+@dataclass
+class ExperimentConfig:
+    """Common knobs for the figure harnesses."""
+
+    seed: int = 7
+    position: str = "A"
+    payload: bytes = DEFAULT_PAYLOAD
+
+    def channel(self, snr_db: float, *, seed_offset: int = 0, **kwargs) -> IndoorChannel:
+        return IndoorChannel.position(
+            self.position, snr_db=snr_db, seed=self.seed + seed_offset, **kwargs
+        )
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> None:
+    """Render a plain-text table (the textual equivalent of a figure)."""
+    rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    if title:
+        print(f"\n== {title} ==")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def send_probe_packets(
+    channel: IndoorChannel,
+    rate: PhyRate,
+    n_packets: int,
+    payload: bytes = DEFAULT_PAYLOAD,
+    gap_s: float = 1e-3,
+) -> List:
+    """Send ``n_packets`` plain (silence-free) packets, returning RxResults
+    paired with their TxFrames: ``[(tx_frame, rx_result), ...]``.
+    """
+    tx = Transmitter()
+    rx = Receiver()
+    psdu = build_mpdu(payload)
+    results = []
+    for _ in range(n_packets):
+        frame = tx.transmit(psdu, rate)
+        received = rx.receive(channel.transmit(frame.waveform))
+        results.append((frame, received))
+        channel.evolve(gap_s)
+    return results

@@ -1,0 +1,113 @@
+"""Fig. 6 — symbol-error distribution within a packet (position A).
+
+(a) The frequency of symbol errors by *symbol position* (symbols numbered
+in transmission order) shows a periodic trend whose period equals the
+number of data subcarriers (48): every deep-faded subcarrier recurs once
+per OFDM symbol.  (b) The per-subcarrier symbol error rate confirms that
+a few weak subcarriers produce most of the erroneous symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis import symbol_error_rate_per_subcarrier
+from repro.experiments.common import ExperimentConfig, print_table, scaled, send_probe_packets
+from repro.phy import RATE_TABLE
+from repro.phy.modulation import get_modulation
+from repro.phy.params import N_DATA_SUBCARRIERS
+
+__all__ = ["ErrorPatternResult", "run", "print_result"]
+
+
+@dataclass
+class ErrorPatternResult:
+    """Symbol-error statistics of Fig. 6."""
+
+    position_error_freq: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    subcarrier_ser: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    n_packets: int = 0
+
+    def dominant_period(self) -> int:
+        """Estimated period of the positional error pattern (≈ 48)."""
+        x = self.position_error_freq - self.position_error_freq.mean()
+        if np.allclose(x, 0):
+            return 0
+        corr = np.correlate(x, x, mode="full")[x.size :]
+        if corr.size < 2 * N_DATA_SUBCARRIERS:
+            return 0
+        # Search only around one fundamental period: with a sparse error
+        # sample the 2x harmonic can spuriously edge out the fundamental.
+        lo, hi = N_DATA_SUBCARRIERS // 2, N_DATA_SUBCARRIERS * 3 // 2
+        return int(np.argmax(corr[lo:hi]) + lo)
+
+    def weak_subcarrier_error_share(self, n_weak: int = 8) -> float:
+        """Fraction of all symbol errors produced by the n weakest subcarriers."""
+        total = self.subcarrier_ser.sum()
+        if total == 0:
+            return 0.0
+        worst = np.sort(self.subcarrier_ser)[::-1][:n_weak]
+        return float(worst.sum() / total)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    snr_db: float = 14.0,
+    rate_mbps: int = 24,
+    n_packets: Optional[int] = None,
+    max_positions: int = 1000,
+) -> ErrorPatternResult:
+    """Send a fixed known packet repeatedly, recording symbol errors."""
+    config = config or ExperimentConfig()
+    n_packets = n_packets if n_packets is not None else scaled(30, 300)
+    rate = RATE_TABLE[rate_mbps]
+    modulation = get_modulation(rate.modulation)
+    channel = config.channel(snr_db)
+
+    error_grids = []
+    for frame, result in send_probe_packets(
+        channel, rate, n_packets, payload=config.payload, gap_s=2e-3
+    ):
+        obs = result.observation
+        if obs is None or obs.eq_data_grid.shape[0] < frame.n_data_symbols:
+            continue
+        eq = obs.eq_data_grid[: frame.n_data_symbols]
+        hard = modulation.demap_hard(eq.reshape(-1))
+        sent = frame.coded_bits
+        bits_per = modulation.bits_per_symbol
+        errors = (
+            (hard != sent)
+            .reshape(frame.n_data_symbols, N_DATA_SUBCARRIERS, bits_per)
+            .any(axis=2)
+        )
+        error_grids.append(errors)
+
+    if not error_grids:
+        raise RuntimeError("no packets observed")
+    stacked = np.stack(error_grids)  # (n_packets, n_symbols, 48)
+    flat = stacked.reshape(stacked.shape[0], -1)  # transmission order
+    freq = flat.mean(axis=0)[:max_positions]
+    ser = symbol_error_rate_per_subcarrier([g for g in stacked])
+    return ErrorPatternResult(
+        position_error_freq=freq, subcarrier_ser=ser, n_packets=len(error_grids)
+    )
+
+
+def print_result(result: ErrorPatternResult) -> None:
+    print(f"\n== Fig. 6 — symbol error pattern ({result.n_packets} packets) ==")
+    print(f"(a) dominant period of positional errors: {result.dominant_period()} "
+          f"(number of data subcarriers = {N_DATA_SUBCARRIERS})")
+    print_table(
+        ["subcarrier", "SER"],
+        [(k + 1, float(s)) for k, s in enumerate(result.subcarrier_ser)],
+        title="(b) per-subcarrier symbol error rate",
+    )
+    print(f"8 weakest subcarriers produce "
+          f"{result.weak_subcarrier_error_share(8) * 100:.1f} % of all symbol errors")
+
+
+if __name__ == "__main__":
+    print_result(run())

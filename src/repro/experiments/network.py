@@ -1,0 +1,96 @@
+"""Network-level experiment: the system-wide value of free control.
+
+Not a paper figure — the paper evaluates CoS at the link level — but the
+quantitative version of its motivation (§I): control messages carried by
+explicit frames consume airtime and contention slots; CoS carries them
+for free.  The harness sweeps contention (station count) and reports
+goodput, control airtime share, and control latency for both schemes on
+the DCF substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.experiments.common import print_table
+from repro.mac.overhead import ControlScheme, OverheadResult, run_overhead_comparison
+
+__all__ = ["NetworkComparisonResult", "run", "print_result"]
+
+
+@dataclass
+class NetworkComparisonResult:
+    """Per-contention-level pairs of (explicit, cos) outcomes."""
+
+    station_counts: List[int] = field(default_factory=list)
+    explicit: List[OverheadResult] = field(default_factory=list)
+    cos: List[OverheadResult] = field(default_factory=list)
+
+    def cos_never_loses_goodput(self) -> bool:
+        return all(
+            c.goodput_mbps >= e.goodput_mbps - 1e-9
+            for c, e in zip(self.cos, self.explicit)
+        )
+
+    def explicit_control_airtime(self) -> float:
+        """Mean control airtime fraction paid by the explicit scheme."""
+        if not self.explicit:
+            return 0.0
+        return sum(r.control_airtime_fraction for r in self.explicit) / len(self.explicit)
+
+
+def run(
+    station_counts: Optional[List[int]] = None,
+    cos_delivery_prob: float = 0.97,
+    seed: int = 7,
+) -> NetworkComparisonResult:
+    """Compare the two control schemes across contention levels."""
+    station_counts = station_counts or [2, 4, 8, 12]
+    result = NetworkComparisonResult(station_counts=list(station_counts))
+    for n in station_counts:
+        result.explicit.append(
+            run_overhead_comparison(
+                ControlScheme.EXPLICIT, n_stations=n, seed=seed
+            )
+        )
+        result.cos.append(
+            run_overhead_comparison(
+                ControlScheme.COS,
+                n_stations=n,
+                cos_delivery_prob=cos_delivery_prob,
+                seed=seed,
+            )
+        )
+    return result
+
+
+def print_result(result: NetworkComparisonResult) -> None:
+    rows = []
+    for n, e, c in zip(result.station_counts, result.explicit, result.cos):
+        rows.append(
+            (
+                n,
+                e.goodput_mbps,
+                c.goodput_mbps,
+                e.control_airtime_fraction * 100,
+                e.mean_control_latency_us / 1e3,
+                c.mean_control_latency_us / 1e3,
+            )
+        )
+    print_table(
+        [
+            "stations",
+            "goodput explicit (Mbps)",
+            "goodput CoS (Mbps)",
+            "explicit ctrl airtime %",
+            "latency explicit (ms)",
+            "latency CoS (ms)",
+        ],
+        rows,
+        title="Network comparison — explicit control frames vs CoS piggyback",
+    )
+
+
+if __name__ == "__main__":
+    print_result(run())

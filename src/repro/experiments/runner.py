@@ -1,0 +1,46 @@
+"""Run every figure harness in sequence and print the paper-style tables.
+
+Usage::
+
+    python -m repro.experiments.runner           # quick mode
+    REPRO_FULL=1 python -m repro.experiments.runner  # paper-scale
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ablations, fig2, fig3, fig5, fig6, fig7, fig9, fig10, network, waterfall
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    only = set(argv)
+
+    stages = [
+        ("fig2", lambda: fig2.print_result(fig2.run())),
+        ("fig3", lambda: fig3.print_result(fig3.run())),
+        ("fig5", lambda: fig5.print_result(fig5.run())),
+        ("fig6", lambda: fig6.print_result(fig6.run())),
+        ("fig7", lambda: fig7.print_result(fig7.run())),
+        ("fig9", lambda: fig9.print_result(fig9.run())),
+        ("fig10", lambda: fig10.print_result(fig10.run())),
+        ("ablations", lambda: (
+            ablations.print_placement(ablations.run_placement()),
+            ablations.print_evd(ablations.run_evd()),
+        )),
+        ("network", lambda: network.print_result(network.run())),
+        ("waterfall", lambda: waterfall.print_result(waterfall.run())),
+    ]
+    for name, stage in stages:
+        if only and name not in only:
+            continue
+        start = time.time()
+        stage()
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

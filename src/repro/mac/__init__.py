@@ -1,0 +1,37 @@
+"""Slotted CSMA/CA (DCF) substrate for network-level CoS experiments.
+
+The paper motivates CoS with upper-layer uses — access coordination,
+resource allocation, load balancing — whose common cost is that control
+messages *contend for airtime* like any other frame.  This package
+provides a compact slotted 802.11 DCF simulator and the comparison
+experiment: explicit control frames vs CoS piggyback at the network
+level (aggregate goodput and control-delivery latency).
+"""
+
+from repro.mac.dcf import (
+    CW_MAX,
+    CW_MIN,
+    DIFS_US,
+    SIFS_US,
+    SLOT_US,
+    DcfSimulator,
+    Frame,
+    MacStats,
+    Station,
+)
+from repro.mac.overhead import ControlScheme, OverheadResult, run_overhead_comparison
+
+__all__ = [
+    "CW_MAX",
+    "CW_MIN",
+    "DIFS_US",
+    "SIFS_US",
+    "SLOT_US",
+    "DcfSimulator",
+    "Frame",
+    "MacStats",
+    "Station",
+    "ControlScheme",
+    "OverheadResult",
+    "run_overhead_comparison",
+]

@@ -1,0 +1,47 @@
+"""Complete IEEE 802.11a OFDM baseband (the Sora SoftWiFi substitute).
+
+Public surface: the rate table (:mod:`repro.phy.params`), the
+:class:`~repro.phy.transmitter.Transmitter` /
+:class:`~repro.phy.receiver.Receiver` pair, and the component blocks
+(scrambler, convolutional code, interleaver, modulation, OFDM, preamble,
+PLCP) for tests and experiments that probe individual stages.
+"""
+
+from repro.phy.params import (
+    N_DATA_SUBCARRIERS,
+    N_FFT,
+    RATE_TABLE,
+    RATES_MBPS,
+    SYMBOL_DURATION_S,
+    SYMBOLS_PER_SECOND,
+    PhyRate,
+    rate_for_mbps,
+)
+from repro.phy.frames import Mpdu, build_mpdu, parse_mpdu
+from repro.phy.modulation import MODULATIONS, Modulation, get_modulation
+from repro.phy.receiver import FrameObservation, Receiver, RxResult
+from repro.phy.transmitter import Transmitter, TxFrame
+from repro.phy.viterbi import ViterbiDecoder
+
+__all__ = [
+    "N_DATA_SUBCARRIERS",
+    "N_FFT",
+    "RATE_TABLE",
+    "RATES_MBPS",
+    "SYMBOL_DURATION_S",
+    "SYMBOLS_PER_SECOND",
+    "PhyRate",
+    "rate_for_mbps",
+    "Mpdu",
+    "build_mpdu",
+    "parse_mpdu",
+    "MODULATIONS",
+    "Modulation",
+    "get_modulation",
+    "FrameObservation",
+    "Receiver",
+    "RxResult",
+    "Transmitter",
+    "TxFrame",
+    "ViterbiDecoder",
+]

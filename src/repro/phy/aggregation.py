@@ -1,0 +1,100 @@
+"""A-MPDU frame aggregation (802.11n-style, simplified).
+
+The paper's capacity measurements "adopt the frame aggregation scheme"
+(§IV-B): several MAC frames share one PHY preamble, which is what makes
+long data packets — and hence a roomy control stream — the common case.
+
+Each subframe is::
+
+    +-----------+---------+---------+-------------+
+    | length(2) | crc8(1) | sig(1)  | MPDU ... pad|
+    +-----------+---------+---------+-------------+
+
+with the MPDU (payload + FCS) padded to a 4-byte boundary.  The parser
+validates each delimiter (CRC-8 over the length field plus the 0x4E
+signature byte); on a corrupt delimiter it hunts forward in 4-byte steps
+until the next valid one, so a single corrupted subframe does not take
+down the rest of the aggregate — the standard A-MPDU resilience property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.phy.frames import Mpdu, build_mpdu, parse_mpdu
+from repro.utils.crc import crc8
+
+__all__ = ["AmpduSubframe", "build_ampdu", "parse_ampdu", "DELIMITER_LEN", "MAX_SUBFRAME_LEN"]
+
+DELIMITER_LEN = 4
+_SIGNATURE = 0x4E
+MAX_SUBFRAME_LEN = (1 << 16) - 1
+
+
+@dataclass(frozen=True)
+class AmpduSubframe:
+    """One recovered subframe: its MPDU plus where it sat in the PSDU."""
+
+    mpdu: Mpdu
+    offset: int
+
+
+def _delimiter(mpdu_len: int) -> bytes:
+    length = mpdu_len.to_bytes(2, "little")
+    return length + bytes([crc8(length), _SIGNATURE])
+
+
+def build_ampdu(payloads: Sequence[bytes]) -> bytes:
+    """Aggregate MAC payloads into one PSDU.
+
+    Each payload gets its own FCS, delimiter, and 4-byte padding; the
+    receiver CRC-checks subframes independently.
+    """
+    if not payloads:
+        raise ValueError("aggregate must contain at least one payload")
+    out = bytearray()
+    for payload in payloads:
+        mpdu = build_mpdu(payload)
+        if len(mpdu) > MAX_SUBFRAME_LEN:
+            raise ValueError(f"MPDU of {len(mpdu)} bytes exceeds the length field")
+        out += _delimiter(len(mpdu))
+        out += mpdu
+        if len(out) % 4:
+            out += bytes(4 - len(out) % 4)
+    return bytes(out)
+
+
+def _valid_delimiter(block: bytes) -> bool:
+    return (
+        len(block) >= DELIMITER_LEN
+        and block[3] == _SIGNATURE
+        and crc8(block[0:2]) == block[2]
+    )
+
+
+def parse_ampdu(psdu: bytes) -> List[AmpduSubframe]:
+    """Recover subframes from a (possibly corrupted) aggregate PSDU.
+
+    Subframes whose delimiter is intact are returned with their own
+    CRC verdict; corrupted delimiters trigger 4-byte-aligned hunting.
+    """
+    subframes: List[AmpduSubframe] = []
+    pos = 0
+    n = len(psdu)
+    while pos + DELIMITER_LEN <= n:
+        block = psdu[pos : pos + DELIMITER_LEN]
+        if _valid_delimiter(block):
+            mpdu_len = int.from_bytes(block[0:2], "little")
+            start = pos + DELIMITER_LEN
+            end = start + mpdu_len
+            if mpdu_len == 0 or end > n:
+                pos += 4  # bogus length: resume hunting
+                continue
+            subframes.append(
+                AmpduSubframe(mpdu=parse_mpdu(psdu[start:end]), offset=pos)
+            )
+            pos = end + ((4 - (end % 4)) % 4)
+        else:
+            pos += 4  # delimiter hunting, 4-byte aligned as in 802.11n
+    return subframes

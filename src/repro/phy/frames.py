@@ -1,0 +1,38 @@
+"""Minimal MAC framing: an MPDU is a payload protected by the 32-bit FCS.
+
+CoS works entirely below the MAC, so the simulator only needs enough MAC
+to reproduce the paper's methodology: the receiver validates the CRC, and
+only CRC-clean packets contribute EVM feedback (§III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.crc import append_fcs, check_fcs, FCS_LEN
+
+__all__ = ["Mpdu", "build_mpdu", "parse_mpdu"]
+
+
+@dataclass(frozen=True)
+class Mpdu:
+    """A parsed MAC frame."""
+
+    payload: bytes
+    fcs_ok: bool
+
+
+def build_mpdu(payload: bytes) -> bytes:
+    """Append the FCS to ``payload``, producing the PSDU handed to the PHY."""
+    if not payload:
+        raise ValueError("payload must be non-empty")
+    return append_fcs(payload)
+
+
+def parse_mpdu(psdu: Optional[bytes]) -> Mpdu:
+    """Validate and strip the FCS; ``psdu=None`` maps to a failed frame."""
+    if psdu is None or len(psdu) <= FCS_LEN:
+        return Mpdu(payload=b"", fcs_ok=False)
+    ok = check_fcs(psdu)
+    return Mpdu(payload=psdu[:-FCS_LEN], fcs_ok=ok)

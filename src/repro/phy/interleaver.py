@@ -1,0 +1,71 @@
+"""802.11a block interleaver (clause 18.3.5.7).
+
+Coded bits are interleaved per OFDM symbol (block size ``n_cbps``) by two
+permutations: the first spreads adjacent coded bits across non-adjacent
+subcarriers; the second alternates them between more- and less-significant
+constellation bits.  Deinterleaving is the exact inverse and — crucially
+for CoS — spreads the zeroed bit metrics of one silence symbol across the
+codeword so the erasures look random to the Viterbi decoder.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.phy.params import PhyRate
+
+__all__ = ["interleave", "deinterleave", "interleaver_permutation"]
+
+
+@lru_cache(maxsize=None)
+def _permutations(n_cbps: int, n_bpsc: int) -> Tuple[np.ndarray, np.ndarray]:
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    # First permutation: k -> i.
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    # Second permutation: i -> j, applied to the already-permuted stream.
+    ii = np.arange(n_cbps)
+    j = s * (ii // s) + (ii + n_cbps - (16 * ii) // n_cbps) % s
+    # Compose: transmitted position of input bit k.
+    forward = np.empty(n_cbps, dtype=np.int64)
+    forward[j[i]] = k
+    # forward maps output position -> input index; build both directions.
+    out_to_in = forward
+    in_to_out = np.empty(n_cbps, dtype=np.int64)
+    in_to_out[out_to_in] = np.arange(n_cbps)
+    return in_to_out, out_to_in
+
+
+def interleaver_permutation(rate: PhyRate) -> np.ndarray:
+    """Return ``perm`` with ``out[perm[k]] = in[k]`` for one symbol block."""
+    in_to_out, _ = _permutations(rate.n_cbps, rate.n_bpsc)
+    return in_to_out
+
+
+def _blocks(values: np.ndarray, n_cbps: int) -> np.ndarray:
+    values = np.asarray(values)
+    if values.size % n_cbps != 0:
+        raise ValueError(
+            f"stream of {values.size} values is not a whole number of "
+            f"{n_cbps}-bit interleaver blocks"
+        )
+    return values.reshape(-1, n_cbps)
+
+
+def interleave(bits: np.ndarray, rate: PhyRate) -> np.ndarray:
+    """Interleave a coded bit stream symbol-block by symbol-block."""
+    in_to_out, _ = _permutations(rate.n_cbps, rate.n_bpsc)
+    blocks = _blocks(bits, rate.n_cbps)
+    out = np.empty_like(blocks)
+    out[:, in_to_out] = blocks
+    return out.reshape(-1)
+
+
+def deinterleave(values: np.ndarray, rate: PhyRate) -> np.ndarray:
+    """Inverse of :func:`interleave`; works on bits or soft metrics."""
+    in_to_out, _ = _permutations(rate.n_cbps, rate.n_bpsc)
+    blocks = _blocks(values, rate.n_cbps)
+    return blocks[:, in_to_out].reshape(-1)

@@ -1,0 +1,121 @@
+"""OFDM (de)modulation: subcarrier mapping, IFFT/FFT, cyclic prefix, pilots.
+
+A *frequency grid* is an ``(n_symbols, 64)`` complex array indexed by FFT
+bin (logical subcarrier k maps to bin k mod 64).  The silence symbols of
+CoS are realised exactly as the paper describes: the power-controller zeroes
+selected data-subcarrier entries of the grid before the IFFT (§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.phy.params import (
+    CP_LEN,
+    DATA_SUBCARRIER_INDICES,
+    N_FFT,
+    PILOT_PATTERN,
+    PILOT_SUBCARRIER_INDICES,
+    SYMBOL_SAMPLES,
+)
+from repro.phy.scrambler import pilot_polarity_sequence
+
+__all__ = [
+    "DATA_BINS",
+    "PILOT_BINS",
+    "TIME_SCALE",
+    "map_to_grid",
+    "extract_data",
+    "extract_pilots",
+    "grid_to_time",
+    "time_to_grid",
+    "subcarrier_noise_variance",
+]
+
+# FFT-bin indices (0..63) of the data and pilot subcarriers, in ascending
+# logical-frequency order (-26 .. +26).
+DATA_BINS = np.array([k % N_FFT for k in DATA_SUBCARRIER_INDICES])
+PILOT_BINS = np.array([k % N_FFT for k in PILOT_SUBCARRIER_INDICES])
+
+# IFFT output is scaled so a fully-populated symbol has unit average
+# time-sample power: |x|^2 = 52 / 64^2 before scaling.
+N_USED = 52
+TIME_SCALE = N_FFT / np.sqrt(N_USED)
+
+
+def map_to_grid(data_symbols: np.ndarray, symbol_offset: int = 0) -> np.ndarray:
+    """Place data symbols and pilots into frequency grids.
+
+    Parameters
+    ----------
+    data_symbols:
+        ``(n_symbols, 48)`` complex data-subcarrier values in ascending
+        subcarrier order.
+    symbol_offset:
+        Index into the pilot polarity sequence of the first symbol (the
+        SIGNAL symbol uses offset 0, the first DATA symbol offset 1).
+    """
+    data_symbols = np.atleast_2d(np.asarray(data_symbols, dtype=np.complex128))
+    n_symbols = data_symbols.shape[0]
+    if data_symbols.shape[1] != len(DATA_BINS):
+        raise ValueError(f"expected 48 data subcarriers, got {data_symbols.shape[1]}")
+    grid = np.zeros((n_symbols, N_FFT), dtype=np.complex128)
+    grid[:, DATA_BINS] = data_symbols
+    polarity = pilot_polarity_sequence(symbol_offset + n_symbols)[symbol_offset:]
+    grid[:, PILOT_BINS] = polarity[:, None] * PILOT_PATTERN[None, :]
+    return grid
+
+
+def extract_data(grid: np.ndarray) -> np.ndarray:
+    """Pull the 48 data-subcarrier values out of frequency grids."""
+    return np.atleast_2d(grid)[:, DATA_BINS]
+
+
+def extract_pilots(grid: np.ndarray, symbol_offset: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (received pilot values, transmitted pilot values).
+
+    Both arrays have shape ``(n_symbols, 4)``; the transmitted values embed
+    the polarity sequence so callers can estimate phase and noise directly.
+    """
+    grid = np.atleast_2d(grid)
+    n_symbols = grid.shape[0]
+    received = grid[:, PILOT_BINS]
+    polarity = pilot_polarity_sequence(symbol_offset + n_symbols)[symbol_offset:]
+    sent = polarity[:, None] * PILOT_PATTERN[None, :]
+    return received, sent
+
+
+def grid_to_time(grid: np.ndarray) -> np.ndarray:
+    """IFFT each grid row, prepend the cyclic prefix, concatenate."""
+    grid = np.atleast_2d(grid)
+    useful = np.fft.ifft(grid, axis=1) * TIME_SCALE
+    with_cp = np.concatenate([useful[:, -CP_LEN:], useful], axis=1)
+    return with_cp.reshape(-1)
+
+
+def time_to_grid(samples: np.ndarray) -> np.ndarray:
+    """Strip cyclic prefixes and FFT back to frequency grids.
+
+    ``samples`` must be a whole number of 80-sample OFDM symbols aligned at
+    a symbol boundary.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.size % SYMBOL_SAMPLES != 0:
+        raise ValueError(
+            f"{samples.size} samples is not a whole number of "
+            f"{SYMBOL_SAMPLES}-sample OFDM symbols"
+        )
+    blocks = samples.reshape(-1, SYMBOL_SAMPLES)[:, CP_LEN:]
+    return np.fft.fft(blocks, axis=1) / TIME_SCALE
+
+
+def subcarrier_noise_variance(time_noise_var: float) -> float:
+    """Noise variance per demodulated subcarrier given time-sample variance.
+
+    With our IFFT scaling, the FFT at the receiver divides by
+    ``TIME_SCALE``; white time-domain noise of variance v therefore appears
+    on each subcarrier with variance v * 64 / TIME_SCALE^2 = v * 52 / 64.
+    """
+    return time_noise_var * N_USED / N_FFT

@@ -1,0 +1,186 @@
+"""PLCP layer: SIGNAL field and DATA-field bit pipeline (clause 18.3.4/5).
+
+The SIGNAL field is one BPSK rate-1/2 OFDM symbol carrying RATE (4 bits),
+a reserved bit, LENGTH (12 bits, LSB first), an even-parity bit and six
+tail zeros.  The DATA field prepends the 16-bit SERVICE field to the PSDU,
+appends 6 tail zeros plus pad bits, scrambles (tail re-zeroed), encodes,
+punctures and interleaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.phy.convcode import conv_encode, depuncture, puncture
+from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.modulation import get_modulation
+from repro.phy.params import (
+    RATE_TABLE,
+    SERVICE_BITS,
+    TAIL_BITS,
+    PhyRate,
+)
+from repro.phy.scrambler import Scrambler
+from repro.phy.viterbi import ViterbiDecoder
+from repro.utils.bitops import bits_to_bytes, bytes_to_bits
+
+__all__ = [
+    "SignalField",
+    "encode_signal_bits",
+    "decode_signal_bits",
+    "build_data_bits",
+    "encode_data_field",
+    "decode_data_field",
+    "DecodedData",
+    "DEFAULT_SCRAMBLER_STATE",
+]
+
+DEFAULT_SCRAMBLER_STATE = 0b1011101
+_SIGNAL_BITS = 24
+_MAX_LENGTH = (1 << 12) - 1
+
+
+@dataclass(frozen=True)
+class SignalField:
+    """Decoded contents of the PLCP SIGNAL symbol."""
+
+    rate: PhyRate
+    length: int  # PSDU length in octets
+
+    @property
+    def n_data_symbols(self) -> int:
+        return self.rate.n_symbols_for(self.length)
+
+
+def encode_signal_bits(rate: PhyRate, length: int) -> np.ndarray:
+    """Build the 24 uncoded SIGNAL bits."""
+    if not 0 < length <= _MAX_LENGTH:
+        raise ValueError(f"PSDU length {length} out of range 1..{_MAX_LENGTH}")
+    bits = np.zeros(_SIGNAL_BITS, dtype=np.uint8)
+    bits[0:4] = rate.signal_rate_bits
+    # bit 4 reserved (0); bits 5..16 LENGTH, LSB first.
+    for i in range(12):
+        bits[5 + i] = (length >> i) & 1
+    bits[17] = bits[:17].sum() % 2  # even parity over bits 0..16
+    # bits 18..23 tail zeros
+    return bits
+
+
+def decode_signal_bits(bits: np.ndarray) -> Optional[SignalField]:
+    """Parse 24 SIGNAL bits; returns None on parity/RATE failure."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size != _SIGNAL_BITS:
+        raise ValueError(f"SIGNAL field must be 24 bits, got {bits.size}")
+    if bits[:18].sum() % 2 != 0:
+        return None
+    rate_bits = tuple(int(b) for b in bits[0:4])
+    rate = next((r for r in RATE_TABLE.values() if r.signal_rate_bits == rate_bits), None)
+    if rate is None:
+        return None
+    length = int(sum(int(bits[5 + i]) << i for i in range(12)))
+    if length == 0:
+        return None
+    return SignalField(rate=rate, length=length)
+
+
+def _signal_rate() -> PhyRate:
+    return RATE_TABLE[6]  # SIGNAL is always BPSK rate 1/2
+
+
+def signal_bits_to_symbols(bits: np.ndarray) -> np.ndarray:
+    """Encode, interleave and BPSK-map the SIGNAL bits into 48 symbols."""
+    rate = _signal_rate()
+    coded = conv_encode(np.asarray(bits, dtype=np.uint8))
+    interleaved = interleave(coded, rate)
+    return get_modulation("bpsk").map_bits(interleaved)
+
+
+def signal_llrs_to_field(llrs: np.ndarray) -> Optional[SignalField]:
+    """Decode the SIGNAL symbol from its 48 per-bit LLRs."""
+    rate = _signal_rate()
+    deinterleaved = deinterleave(np.asarray(llrs, dtype=np.float64), rate)
+    bits = ViterbiDecoder(terminated=True).decode(deinterleaved)
+    return decode_signal_bits(bits)
+
+
+def build_data_bits(
+    psdu: bytes, rate: PhyRate, scrambler_state: int = DEFAULT_SCRAMBLER_STATE
+) -> np.ndarray:
+    """SERVICE + PSDU + tail + pad, scrambled with the tail re-zeroed."""
+    psdu_bits = bytes_to_bits(psdu)
+    n_payload = SERVICE_BITS + psdu_bits.size + TAIL_BITS
+    n_symbols = -(-n_payload // rate.n_dbps)
+    n_total = n_symbols * rate.n_dbps
+    bits = np.zeros(n_total, dtype=np.uint8)
+    bits[SERVICE_BITS : SERVICE_BITS + psdu_bits.size] = psdu_bits
+    scrambled = Scrambler(scrambler_state).scramble(bits)
+    # The tail must be zero *after* scrambling so the encoder flushes to
+    # state 0.  We zero the pad bits too (the standard scrambles them)
+    # so the trellis stays terminated through the pad — receivers ignore
+    # pad contents either way, and this keeps traceback exact at the end
+    # of the PSDU.
+    tail_start = SERVICE_BITS + psdu_bits.size
+    scrambled[tail_start:] = 0
+    return scrambled
+
+
+def encode_data_field(
+    psdu: bytes, rate: PhyRate, scrambler_state: int = DEFAULT_SCRAMBLER_STATE
+) -> np.ndarray:
+    """Full TX bit pipeline: scramble, encode, puncture, interleave.
+
+    Returns the interleaved coded bit stream, one ``n_cbps`` block per OFDM
+    data symbol, ready for constellation mapping.
+    """
+    scrambled = build_data_bits(psdu, rate, scrambler_state)
+    coded = puncture(conv_encode(scrambled), rate.code_rate)
+    return interleave(coded, rate)
+
+
+@dataclass(frozen=True)
+class DecodedData:
+    """Output of the RX bit pipeline.
+
+    ``scrambled_bits`` (the Viterbi output before descrambling) lets the
+    CoS receiver re-encode the packet and reconstruct the ideal
+    constellation points for EVM feedback without knowing the
+    transmitter's scrambler seed.
+    """
+
+    psdu: bytes
+    descrambled_bits: np.ndarray
+    scrambled_bits: np.ndarray
+
+
+def decode_data_field(llrs: np.ndarray, rate: PhyRate, n_octets: int) -> DecodedData:
+    """Full RX bit pipeline: deinterleave, depuncture, Viterbi, descramble.
+
+    Parameters
+    ----------
+    llrs:
+        Per transmitted coded bit LLRs (positive ⇒ 0), ``n_cbps`` per
+        symbol.  Erased positions must already be zeroed.
+    rate, n_octets:
+        From the decoded SIGNAL field.
+    """
+    deinterleaved = deinterleave(np.asarray(llrs, dtype=np.float64), rate)
+    full = depuncture(deinterleaved, rate.code_rate, fill=0.0)
+    decoded = ViterbiDecoder(terminated=True).decode(full)
+    # Descramble: the first 7 SERVICE bits were zero before scrambling, so
+    # they reveal the transmitter's scrambler state.  A badly corrupted
+    # frame may present an unreachable (all-zero) pattern; the frame is
+    # lost either way, so descrambling is skipped and the CRC rejects it.
+    try:
+        state = Scrambler.recover_state(decoded[:7])
+        descrambled = Scrambler(state).scramble(decoded)
+    except ValueError:
+        descrambled = decoded
+    psdu_bits = descrambled[SERVICE_BITS : SERVICE_BITS + 8 * n_octets]
+    return DecodedData(
+        psdu=bits_to_bytes(psdu_bits),
+        descrambled_bits=descrambled,
+        scrambled_bits=decoded,
+    )

@@ -1,0 +1,279 @@
+"""802.11a receiver chain with erasure-aware decoding hooks.
+
+The receiver is split into two stages so the CoS layer can interpose:
+
+1. :meth:`Receiver.observe` — synchronise, estimate the channel from the
+   LTF, FFT the payload into a raw frequency grid, and decode the SIGNAL
+   field.  The raw grid is what the CoS energy detector inspects.
+2. :meth:`Receiver.decode` — equalise, compute CSI-weighted LLRs, zero the
+   metrics of any erased (silence) symbols, and run the Viterbi pipeline.
+
+``Receiver.receive`` chains both for plain-802.11a use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.frames import Mpdu, parse_mpdu
+from repro.phy.modulation import get_modulation
+from repro.phy.ofdm import DATA_BINS, extract_data, extract_pilots, time_to_grid
+from repro.phy.params import N_DATA_SUBCARRIERS, SYMBOL_SAMPLES
+from repro.phy.plcp import (
+    DecodedData,
+    SignalField,
+    decode_data_field,
+    signal_llrs_to_field,
+)
+from repro.phy.preamble import (
+    PREAMBLE_SAMPLES,
+    SAMPLE_RATE_HZ,
+    estimate_cfo,
+    estimate_channel,
+    estimate_noise_from_ltf,
+    synchronize,
+)
+
+__all__ = ["FrameObservation", "RxResult", "Receiver"]
+
+_H_FLOOR = 1e-9
+
+
+@dataclass
+class FrameObservation:
+    """Stage-1 output: everything measured before data decoding.
+
+    Attributes
+    ----------
+    h_est:
+        LS channel estimate on all 64 FFT bins (guards zero).
+    h_data:
+        The estimate restricted to the 48 data subcarriers, ascending order.
+    noise_var:
+        Per-subcarrier noise variance, pilot-refined (paper eq. (5)-(6)).
+    signal:
+        Decoded SIGNAL field, or None if it failed parity/rate checks.
+    raw_data_grid:
+        ``(n_symbols, 48)`` un-equalised data-subcarrier values — the CoS
+        energy detector operates on these magnitudes.
+    eq_data_grid:
+        ZF-equalised, pilot-phase-corrected data symbols.
+    """
+
+    h_est: np.ndarray
+    h_data: np.ndarray
+    noise_var: float
+    signal: Optional[SignalField]
+    raw_data_grid: np.ndarray
+    eq_data_grid: np.ndarray
+
+
+@dataclass
+class RxResult:
+    """Stage-2 output: the decoded frame plus diagnostics."""
+
+    mpdu: Mpdu
+    signal: Optional[SignalField]
+    observation: Optional[FrameObservation]
+    pre_viterbi_bits: Optional[np.ndarray] = None
+    decoded: Optional[DecodedData] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.mpdu.fcs_ok
+
+
+class Receiver:
+    """Stateless 802.11a demodulator/decoder.
+
+    Parameters
+    ----------
+    known_timing:
+        If True (default — the simulator controls alignment) the frame is
+        assumed to start at sample 0; otherwise matched-filter sync runs.
+    """
+
+    def __init__(
+        self,
+        known_timing: bool = True,
+        correct_cfo: bool = True,
+        decision: str = "soft",
+    ):
+        if decision not in ("soft", "hard"):
+            raise ValueError("decision must be 'soft' or 'hard'")
+        self.known_timing = known_timing
+        self.correct_cfo = correct_cfo
+        self.decision = decision
+
+    # ------------------------------------------------------------------
+    # Stage 1: observation
+    # ------------------------------------------------------------------
+
+    def observe(self, samples: np.ndarray) -> Optional[FrameObservation]:
+        """Synchronise, estimate the channel, and decode SIGNAL.
+
+        Returns ``None`` when the waveform is too short to hold a preamble
+        plus SIGNAL symbol.
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        start = 0 if self.known_timing else synchronize(samples)
+        if samples.size - start < PREAMBLE_SAMPLES + SYMBOL_SAMPLES:
+            return None
+        if self.correct_cfo:
+            # STF/LTF-based CFO estimate, derotated over the whole frame;
+            # the pilots then track only the small residual phase drift.
+            cfo = estimate_cfo(samples[start : start + PREAMBLE_SAMPLES])
+            n = np.arange(samples.size - start)
+            samples = samples.copy()
+            samples[start:] = samples[start:] * np.exp(
+                -2j * np.pi * cfo * n / SAMPLE_RATE_HZ
+            )
+        preamble = samples[start : start + PREAMBLE_SAMPLES]
+        h_est = estimate_channel(preamble)
+        noise_ltf = estimate_noise_from_ltf(preamble)
+
+        payload = samples[start + PREAMBLE_SAMPLES :]
+        n_whole = payload.size // SYMBOL_SAMPLES
+        grid = time_to_grid(payload[: n_whole * SYMBOL_SAMPLES])
+
+        h_data = h_est[DATA_BINS]
+        safe_h = np.where(np.abs(h_data) < _H_FLOOR, _H_FLOOR, h_data)
+
+        # SIGNAL symbol (polarity index 0).
+        signal_raw = extract_data(grid[:1])[0]
+        phase0, pilot_res0 = self._pilot_phase(grid[:1], h_est, symbol_offset=0)
+        noise_var = self._refine_noise(noise_ltf, pilot_res0)
+        eq_signal = self._equalize(signal_raw, safe_h, noise_var) * np.exp(
+            -1j * phase0[0]
+        )
+        csi = np.abs(h_data) ** 2 / max(noise_var, 1e-15)
+        signal_llrs = get_modulation("bpsk").demap_soft(eq_signal, csi)
+        signal = signal_llrs_to_field(signal_llrs)
+
+        # DATA symbols (polarity indices 1..n).
+        n_data = grid.shape[0] - 1
+        if signal is not None:
+            n_data = min(n_data, signal.n_data_symbols)
+        data_grid = grid[1 : 1 + n_data]
+        raw_data = extract_data(data_grid)
+        phase, pilot_res = self._pilot_phase(data_grid, h_est, symbol_offset=1)
+        noise_var = self._refine_noise(noise_ltf, np.concatenate([pilot_res0, pilot_res]))
+        eq_data = self._equalize(raw_data, safe_h[None, :], noise_var) * np.exp(
+            -1j * phase
+        )[:, None]
+
+        return FrameObservation(
+            h_est=h_est,
+            h_data=h_data,
+            noise_var=noise_var,
+            signal=signal,
+            raw_data_grid=raw_data,
+            eq_data_grid=eq_data,
+        )
+
+    @staticmethod
+    def _equalize(raw: np.ndarray, h: np.ndarray, noise_var: float) -> np.ndarray:
+        """Zero-forcing equalisation.
+
+        For a scalar per-subcarrier channel the *unbiased* MMSE equaliser
+        reduces exactly to ZF (the bias correction cancels the
+        regularisation), and the CSI weighting in the demapper already
+        plays the role MMSE would — so ZF is the whole story here.
+        """
+        del noise_var
+        return raw / h
+
+    @staticmethod
+    def _pilot_phase(grid: np.ndarray, h_est: np.ndarray, symbol_offset: int):
+        """Common-phase-error per symbol and raw pilot residuals.
+
+        The residuals (received minus expected pilot values, before
+        equalisation) feed the pilot-aided noise estimate of eq. (6).
+        """
+        from repro.phy.ofdm import PILOT_BINS
+
+        received, sent = extract_pilots(grid, symbol_offset)
+        h_pilots = h_est[PILOT_BINS]
+        expected = sent * h_pilots[None, :]
+        corr = np.sum(received * np.conj(expected), axis=1)
+        phase = np.angle(np.where(corr == 0, 1.0, corr))
+        residuals = received * np.exp(-1j * phase)[:, None] - expected
+        return phase, residuals.reshape(-1)
+
+    @staticmethod
+    def _refine_noise(noise_ltf: float, pilot_residuals: np.ndarray) -> float:
+        """Blend the LTF floor with the pilot residual power (eq. (5)-(6))."""
+        if pilot_residuals.size == 0:
+            return noise_ltf
+        pilot_var = float(np.mean(np.abs(pilot_residuals) ** 2))
+        return 0.5 * (noise_ltf + pilot_var)
+
+    # ------------------------------------------------------------------
+    # Stage 2: decoding
+    # ------------------------------------------------------------------
+
+    def decode(
+        self,
+        obs: FrameObservation,
+        erasure_mask: Optional[np.ndarray] = None,
+    ) -> RxResult:
+        """Decode the DATA field of an observation.
+
+        ``erasure_mask`` is ``(n_symbols, 48)`` bool; True entries have all
+        their bit metrics zeroed before deinterleaving — the EVD rule of
+        eq. (7).
+        """
+        if obs.signal is None:
+            return RxResult(mpdu=parse_mpdu(None), signal=None, observation=obs)
+        rate = obs.signal.rate
+        n_symbols = obs.signal.n_data_symbols
+        if obs.eq_data_grid.shape[0] < n_symbols:
+            return RxResult(mpdu=parse_mpdu(None), signal=obs.signal, observation=obs)
+
+        modulation = get_modulation(rate.modulation)
+        eq = obs.eq_data_grid[:n_symbols]
+        if self.decision == "soft":
+            csi_row = np.abs(obs.h_data) ** 2 / max(obs.noise_var, 1e-15)
+            csi = np.broadcast_to(csi_row, eq.shape)
+            llrs = modulation.demap_soft(eq.reshape(-1), csi.reshape(-1))
+        else:
+            # Hard-decision, CSI-blind input — the fidelity mode matching
+            # first-generation software radios like Sora's SoftWiFi, kept
+            # for the decoder-fidelity ablation.
+            from repro.phy.viterbi import hard_bits_to_llrs
+
+            hard = modulation.demap_hard(eq.reshape(-1))
+            llrs = hard_bits_to_llrs(hard)
+        llrs = llrs.reshape(n_symbols, N_DATA_SUBCARRIERS, modulation.bits_per_symbol)
+        if erasure_mask is not None:
+            erasure_mask = np.asarray(erasure_mask, dtype=bool)
+            if erasure_mask.shape != (n_symbols, N_DATA_SUBCARRIERS):
+                raise ValueError(
+                    f"erasure_mask shape {erasure_mask.shape} != "
+                    f"({n_symbols}, {N_DATA_SUBCARRIERS})"
+                )
+            llrs[erasure_mask] = 0.0
+
+        pre_viterbi = modulation.demap_hard(eq.reshape(-1))
+        decoded = decode_data_field(llrs.reshape(-1), rate, obs.signal.length)
+        return RxResult(
+            mpdu=parse_mpdu(decoded.psdu),
+            signal=obs.signal,
+            observation=obs,
+            pre_viterbi_bits=pre_viterbi,
+            decoded=decoded,
+        )
+
+    # ------------------------------------------------------------------
+
+    def receive(
+        self, samples: np.ndarray, erasure_mask: Optional[np.ndarray] = None
+    ) -> RxResult:
+        """Full pipeline: observe then decode."""
+        obs = self.observe(samples)
+        if obs is None:
+            return RxResult(mpdu=parse_mpdu(None), signal=None, observation=None)
+        return self.decode(obs, erasure_mask)

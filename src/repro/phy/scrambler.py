@@ -1,0 +1,84 @@
+"""802.11a data scrambler (clause 18.3.5.5).
+
+A 7-bit LFSR with polynomial S(x) = x^7 + x^4 + 1 generates a length-127
+pseudo-random sequence that is XORed onto the data bits.  The same block
+descrambles (XOR is an involution).  The sequence generated from the
+all-ones state also serves as the *pilot polarity sequence* p_n used by
+the OFDM modulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Scrambler", "scrambler_sequence", "pilot_polarity_sequence"]
+
+
+def scrambler_sequence(n: int, state: int = 0b1111111) -> np.ndarray:
+    """Generate ``n`` bits of the LFSR sequence starting from ``state``.
+
+    ``state`` packs the shift register x1..x7 with x7 in the MSB; the
+    output bit of each step is x7 XOR x4 and is also fed back into x1.
+    """
+    if not 0 < state < 128:
+        raise ValueError("scrambler state must be a non-zero 7-bit value")
+    out = np.empty(n, dtype=np.uint8)
+    for i in range(n):
+        x7 = (state >> 6) & 1
+        x4 = (state >> 3) & 1
+        bit = x7 ^ x4
+        state = ((state << 1) & 0b1111111) | bit
+        out[i] = bit
+    return out
+
+
+class Scrambler:
+    """Stateless-per-call scrambler/descrambler.
+
+    The 802.11a transmitter initialises the register to a pseudo-random
+    non-zero state for every PPDU; the receiver recovers it from the first
+    7 (zero) SERVICE bits.  For a simulator we keep the classic default
+    all-ones seed but accept any non-zero state.
+    """
+
+    def __init__(self, state: int = 0b1011101):
+        if not 0 < state < 128:
+            raise ValueError("scrambler state must be a non-zero 7-bit value")
+        self.state = state
+
+    def scramble(self, bits: np.ndarray) -> np.ndarray:
+        """XOR ``bits`` with the LFSR stream (also descrambles)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        seq = scrambler_sequence(bits.size, self.state)
+        return bits ^ seq
+
+    @staticmethod
+    def recover_state(scrambled_service_prefix: np.ndarray) -> int:
+        """Recover the initial state from the first 7 scrambled SERVICE bits.
+
+        The SERVICE field starts with 7 zero bits, so the scrambled bits
+        *are* the LFSR output; running the recursion backwards is
+        unnecessary because 7 consecutive outputs determine the state.
+        """
+        bits = np.asarray(scrambled_service_prefix, dtype=np.uint8)
+        if bits.size < 7:
+            raise ValueError("need at least 7 scrambled service bits")
+        # Outputs o0..o6 with register x1..x7: o_i = x7 ^ x4 and the state
+        # shifts left absorbing o_i.  Brute-force over the 127 states is
+        # simplest and exact.
+        for state in range(1, 128):
+            if np.array_equal(scrambler_sequence(7, state), bits[:7]):
+                return state
+        raise ValueError("no scrambler state matches the service bits")
+
+
+def pilot_polarity_sequence(n_symbols: int) -> np.ndarray:
+    """Pilot polarity p_n for ``n_symbols`` OFDM symbols as ±1 floats.
+
+    Clause 18.3.5.10: p_n is the cyclic extension of the 127-bit scrambler
+    sequence seeded with all ones, mapped 0 -> +1 and 1 -> -1.
+    """
+    base = scrambler_sequence(127, 0b1111111)
+    reps = -(-n_symbols // 127)
+    seq = np.tile(base, reps)[:n_symbols]
+    return 1.0 - 2.0 * seq.astype(np.float64)

@@ -1,0 +1,92 @@
+"""Trellis of the K=7 convolutional code, precomputed for Viterbi.
+
+States are the 64 possible contents of the 6-bit shift register with the
+*most recent* input bit in the MSB.  The transition caused by input bit b
+from state s passes through the 7-bit window w = (b << 6) | s, emits
+(A, B) = (parity(w & G0), parity(w & G1)) and lands in state w >> 1 —
+whose MSB is therefore b, which is what traceback exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Trellis", "N_STATES"]
+
+N_STATES = 64
+_G0_MASK = 0b1011011
+_G1_MASK = 0b1111001
+
+
+def _parity(x: np.ndarray) -> np.ndarray:
+    x = x ^ (x >> 4)
+    x = x ^ (x >> 2)
+    x = x ^ (x >> 1)
+    return x & 1
+
+
+@dataclass(frozen=True)
+class Trellis:
+    """Reverse-indexed trellis tables.
+
+    Attributes
+    ----------
+    prev_state:
+        ``(64, 2)`` — for next-state ``ns`` and branch index ``x`` (the LSB
+        shifted out of the window), the predecessor state.
+    branch_pair:
+        ``(64, 2)`` — the output pair of that transition encoded as
+        ``2*A + B`` (an index into per-step pair metrics).
+    input_bit:
+        ``(64,)`` — the information bit that led *into* each state (its MSB).
+    next_state / output_pair:
+        forward tables indexed ``[state, input_bit]``, used by tests and by
+        the encoder cross-check.
+    """
+
+    prev_state: np.ndarray = field(default=None)
+    branch_pair: np.ndarray = field(default=None)
+    input_bit: np.ndarray = field(default=None)
+    next_state: np.ndarray = field(default=None)
+    output_pair: np.ndarray = field(default=None)
+
+    @staticmethod
+    def build() -> "Trellis":
+        states = np.arange(N_STATES)
+        # Forward tables.
+        next_state = np.empty((N_STATES, 2), dtype=np.int64)
+        output_pair = np.empty((N_STATES, 2), dtype=np.int64)
+        for b in (0, 1):
+            window = (b << 6) | states
+            next_state[:, b] = window >> 1
+            a_bit = _parity(window & _G0_MASK)
+            b_bit = _parity(window & _G1_MASK)
+            output_pair[:, b] = 2 * a_bit + b_bit
+        # Reverse tables.
+        prev_state = np.empty((N_STATES, 2), dtype=np.int64)
+        branch_pair = np.empty((N_STATES, 2), dtype=np.int64)
+        ns = np.arange(N_STATES)
+        for x in (0, 1):
+            window = (ns << 1) | x
+            prev_state[:, x] = window & (N_STATES - 1)
+            a_bit = _parity(window & _G0_MASK)
+            b_bit = _parity(window & _G1_MASK)
+            branch_pair[:, x] = 2 * a_bit + b_bit
+        input_bit = (ns >> 5) & 1
+        return Trellis(
+            prev_state=prev_state,
+            branch_pair=branch_pair,
+            input_bit=input_bit,
+            next_state=next_state,
+            output_pair=output_pair,
+        )
+
+
+_SHARED: Trellis = Trellis.build()
+
+
+def shared_trellis() -> Trellis:
+    """Return the singleton trellis (it is immutable and rate-independent)."""
+    return _SHARED

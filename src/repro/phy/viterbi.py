@@ -1,0 +1,94 @@
+"""Soft-decision Viterbi decoder with native erasure support.
+
+The decoder consumes one *log-likelihood ratio* per coded bit,
+
+    LLR(c) = log P(c = 0 | y) - log P(c = 1 | y),
+
+so a positive LLR favours a 0.  An **erasure** is simply ``LLR = 0`` — it
+contributes nothing to any path metric, exactly the bit-metric zeroing of
+the paper's erasure Viterbi decoding (eq. (7)).  Punctured positions and
+CoS silence symbols both enter the decoder this way, which is why EVD
+"does not modify the existing Viterbi decoder, but only the calculation
+of bit metrics" (§III-E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.trellis import N_STATES, shared_trellis
+
+__all__ = ["ViterbiDecoder", "hard_bits_to_llrs"]
+
+_NEG_INF = -1e18
+
+
+def hard_bits_to_llrs(bits: np.ndarray, confidence: float = 1.0) -> np.ndarray:
+    """Map hard bits to LLRs (+confidence for 0, -confidence for 1)."""
+    bits = np.asarray(bits, dtype=np.float64)
+    return confidence * (1.0 - 2.0 * bits)
+
+
+class ViterbiDecoder:
+    """Maximum-likelihood sequence decoder for the 802.11a trellis.
+
+    Parameters
+    ----------
+    terminated:
+        If True (the 802.11a case — 6 tail zeros flush the encoder) the
+        survivor ending in state 0 is traced back; otherwise the best
+        final state is used.
+    """
+
+    def __init__(self, terminated: bool = True):
+        self.terminated = terminated
+        self._trellis = shared_trellis()
+
+    def decode(self, llrs: np.ndarray) -> np.ndarray:
+        """Decode a rate-1/2 LLR stream (A0 B0 A1 B1 …) into info bits.
+
+        ``llrs`` must have even length; length // 2 information bits are
+        returned (including any tail bits, which callers strip).
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        if llrs.size % 2 != 0:
+            raise ValueError("LLR stream must contain whole (A, B) pairs")
+        n_steps = llrs.size // 2
+        if n_steps == 0:
+            return np.zeros(0, dtype=np.uint8)
+
+        # Metric of hypothesis pair p = 2*A + B at each step: +LLR for an
+        # expected 0, -LLR for an expected 1 (correlation metric).
+        llr_a = llrs[0::2]
+        llr_b = llrs[1::2]
+        sign_a = np.array([1.0, 1.0, -1.0, -1.0])
+        sign_b = np.array([1.0, -1.0, 1.0, -1.0])
+        pair_metrics = llr_a[:, None] * sign_a + llr_b[:, None] * sign_b
+
+        trellis = self._trellis
+        prev_state = trellis.prev_state  # (64, 2)
+        branch_pair = trellis.branch_pair  # (64, 2)
+
+        # Path metrics, starting from the all-zero encoder state.
+        metric = np.full(N_STATES, _NEG_INF)
+        metric[0] = 0.0
+        decisions = np.empty((n_steps, N_STATES), dtype=np.uint8)
+
+        for t in range(n_steps):
+            cand = metric[prev_state] + pair_metrics[t][branch_pair]
+            choice = cand[:, 1] > cand[:, 0]
+            decisions[t] = choice
+            metric = np.where(choice, cand[:, 1], cand[:, 0])
+            metric -= metric.max()  # keep metrics bounded
+
+        state = 0 if self.terminated else int(metric.argmax())
+        bits = np.empty(n_steps, dtype=np.uint8)
+        input_bit = trellis.input_bit
+        for t in range(n_steps - 1, -1, -1):
+            bits[t] = input_bit[state]
+            state = int(prev_state[state, decisions[t, state]])
+        return bits
+
+    def decode_hard(self, coded_bits: np.ndarray) -> np.ndarray:
+        """Convenience: hard-decision decoding of a rate-1/2 bit stream."""
+        return self.decode(hard_bits_to_llrs(coded_bits))

@@ -1,0 +1,10 @@
+"""SNR-threshold data-rate adaptation (the paper's reference [6] scheme)."""
+
+from repro.rateadapt.snr_rate_adaptation import (
+    DEFAULT_THRESHOLDS,
+    RateAdapter,
+    min_required_snr_db,
+    select_rate,
+)
+
+__all__ = ["DEFAULT_THRESHOLDS", "RateAdapter", "min_required_snr_db", "select_rate"]

@@ -1,0 +1,79 @@
+"""Bit-array helpers.
+
+Throughout the library a *bit array* is a 1-D ``numpy.ndarray`` of dtype
+``uint8`` whose entries are 0 or 1.  Bytes are expanded LSB-first, which is
+the transmission order used by IEEE 802.11 (clause 17): the first bit on the
+air of every octet is its least-significant bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "int_to_bits",
+    "bits_to_int",
+    "pad_bits",
+    "random_bits",
+]
+
+
+def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Expand bytes into a bit array, LSB of each octet first.
+
+    >>> bytes_to_bits(b"\\x01").tolist()
+    [1, 0, 0, 0, 0, 0, 0, 0]
+    """
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bit array (LSB-first per octet) back into bytes.
+
+    The bit count must be a multiple of 8.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def int_to_bits(value: int, width: int, lsb_first: bool = True) -> np.ndarray:
+    """Encode ``value`` as a fixed-width bit array.
+
+    ``lsb_first=True`` matches the 802.11 on-air convention; CoS interval
+    values use MSB-first groups (``lsb_first=False``) per the paper's
+    examples (e.g. "0010" -> 2).
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    bits = np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+    if not lsb_first:
+        bits = bits[::-1]
+    return bits
+
+
+def bits_to_int(bits: np.ndarray, lsb_first: bool = True) -> int:
+    """Decode a bit array into an integer (inverse of :func:`int_to_bits`)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if not lsb_first:
+        bits = bits[::-1]
+    return int(sum(int(b) << i for i, b in enumerate(bits)))
+
+
+def pad_bits(bits: np.ndarray, multiple: int, value: int = 0) -> np.ndarray:
+    """Right-pad a bit array with ``value`` up to a multiple of ``multiple``."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    remainder = bits.size % multiple
+    if remainder == 0:
+        return bits
+    pad = np.full(multiple - remainder, value, dtype=np.uint8)
+    return np.concatenate([bits, pad])
+
+
+def random_bits(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` i.i.d. uniform bits from ``rng``."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)

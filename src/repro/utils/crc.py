@@ -1,0 +1,68 @@
+"""CRC-32 as used for the IEEE 802.11 frame check sequence (FCS).
+
+This is the standard CRC-32/ISO-HDLC polynomial (0x04C11DB7, reflected),
+identical to ``zlib.crc32`` — implemented here table-driven so the PHY has
+no dependency beyond numpy and the algorithm is explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crc32", "append_fcs", "check_fcs", "FCS_LEN", "crc8"]
+
+FCS_LEN = 4
+_POLY_REFLECTED = 0xEDB88320
+
+
+def _build_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint32)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY_REFLECTED
+            else:
+                crc >>= 1
+        table[byte] = crc
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes | bytearray) -> int:
+    """Compute the CRC-32 of ``data`` (same value as ``zlib.crc32``)."""
+    crc = 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = (crc >> 8) ^ int(_TABLE[(crc ^ byte) & 0xFF])
+    return crc ^ 0xFFFFFFFF
+
+
+def crc8(data: bytes | bytearray) -> int:
+    """CRC-8 (poly 0x07, init 0), as used by A-MPDU delimiters."""
+    crc = 0
+    for byte in bytes(data):
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ 0x07) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc
+
+
+def append_fcs(payload: bytes) -> bytes:
+    """Return ``payload`` with its 4-byte little-endian FCS appended."""
+    return payload + crc32(payload).to_bytes(FCS_LEN, "little")
+
+
+def check_fcs(frame: bytes) -> bool:
+    """Validate a frame produced by :func:`append_fcs`.
+
+    Returns ``False`` for frames too short to carry an FCS.
+    """
+    if len(frame) < FCS_LEN:
+        return False
+    payload, fcs = frame[:-FCS_LEN], frame[-FCS_LEN:]
+    return crc32(payload).to_bytes(FCS_LEN, "little") == fcs

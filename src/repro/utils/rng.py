@@ -1,0 +1,39 @@
+"""Reproducible randomness helpers.
+
+Every stochastic component in the library takes a ``numpy.random.Generator``
+explicitly; these helpers centralise construction so experiments are
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a Generator.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    Generator (returned unchanged so callers can thread one RNG through).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used when an experiment needs per-worker streams that do not interact
+    (e.g. one stream per channel realisation) while staying reproducible.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seq = np.random.SeedSequence(seed if not isinstance(seed, np.random.Generator) else None)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

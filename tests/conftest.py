@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.phy import RATE_TABLE, build_mpdu
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def payload():
+    return bytes(range(200))
+
+
+@pytest.fixture
+def psdu(payload):
+    return build_mpdu(payload)
+
+
+@pytest.fixture
+def rate24():
+    return RATE_TABLE[24]
+
+
+@pytest.fixture
+def clean_channel():
+    """A mild, high-SNR channel for tests that need near-certain decoding."""
+    return IndoorChannel.position("C", snr_db=28.0, seed=5)
+
+
+@pytest.fixture
+def selective_channel():
+    """A representative frequency-selective channel."""
+    return IndoorChannel.position("A", snr_db=15.0, seed=27)

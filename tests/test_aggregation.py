@@ -1,0 +1,100 @@
+"""Unit tests for A-MPDU aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.phy.aggregation import (
+    DELIMITER_LEN,
+    build_ampdu,
+    parse_ampdu,
+)
+from repro.utils.crc import crc8
+
+
+class TestCrc8:
+    def test_known_vector(self):
+        # CRC-8/ATM of "123456789" is 0xF4 for poly 0x07 init 0.
+        assert crc8(b"123456789") == 0xF4
+
+    def test_detects_change(self):
+        assert crc8(b"\x01\x02") != crc8(b"\x01\x03")
+
+
+class TestBuildParse:
+    def test_single_subframe(self):
+        psdu = build_ampdu([b"hello"])
+        frames = parse_ampdu(psdu)
+        assert len(frames) == 1
+        assert frames[0].mpdu.fcs_ok
+        assert frames[0].mpdu.payload == b"hello"
+
+    def test_multiple_subframes(self):
+        payloads = [b"a" * 10, b"b" * 33, b"c" * 100]
+        frames = parse_ampdu(build_ampdu(payloads))
+        assert [f.mpdu.payload for f in frames] == payloads
+        assert all(f.mpdu.fcs_ok for f in frames)
+
+    def test_four_byte_alignment(self):
+        psdu = build_ampdu([b"x", b"y"])
+        frames = parse_ampdu(psdu)
+        assert len(frames) == 2
+        assert all(f.offset % 4 == 0 for f in frames)
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            build_ampdu([])
+
+    def test_oversized_mpdu_rejected(self):
+        with pytest.raises(ValueError):
+            build_ampdu([bytes(70_000)])
+
+
+class TestCorruptionResilience:
+    def test_payload_corruption_isolated(self):
+        payloads = [b"one" * 5, b"two" * 5, b"three" * 5]
+        psdu = bytearray(build_ampdu(payloads))
+        # Corrupt a byte inside the second MPDU's payload.
+        second_frame = parse_ampdu(bytes(psdu))[1]
+        psdu[second_frame.offset + DELIMITER_LEN + 1] ^= 0xFF
+        frames = parse_ampdu(bytes(psdu))
+        assert len(frames) == 3
+        assert frames[0].mpdu.fcs_ok
+        assert not frames[1].mpdu.fcs_ok
+        assert frames[2].mpdu.fcs_ok
+
+    def test_delimiter_corruption_hunts_forward(self):
+        payloads = [b"one" * 5, b"two" * 5, b"three" * 5]
+        psdu = bytearray(build_ampdu(payloads))
+        second = parse_ampdu(bytes(psdu))[1]
+        psdu[second.offset + 3] ^= 0xFF  # destroy the signature byte
+        frames = parse_ampdu(bytes(psdu))
+        payload_set = [f.mpdu.payload for f in frames if f.mpdu.fcs_ok]
+        assert payloads[0] in payload_set
+        assert payloads[2] in payload_set
+        assert payloads[1] not in payload_set
+
+    def test_garbage_input(self, rng):
+        garbage = bytes(rng.integers(0, 256, 500, dtype=np.uint8))
+        frames = parse_ampdu(garbage)  # must not crash
+        assert all(not f.mpdu.fcs_ok or f.mpdu.payload for f in frames)
+
+    def test_truncated_aggregate(self):
+        psdu = build_ampdu([b"abcdef" * 10])
+        frames = parse_ampdu(psdu[: len(psdu) // 2])
+        assert all(not f.mpdu.fcs_ok for f in frames)
+
+
+class TestOverPhy:
+    def test_aggregate_over_the_air(self, clean_channel):
+        """An A-MPDU rides the PHY like any PSDU; subframes CRC-check."""
+        from repro.phy import RATE_TABLE, Receiver, Transmitter
+
+        payloads = [b"stream-a" * 8, b"stream-b" * 16]
+        psdu = build_ampdu(payloads)
+        frame = Transmitter().transmit(psdu, RATE_TABLE[24])
+        # Bypass MPDU parsing: take raw decoded PSDU bytes.
+        obs = Receiver().observe(clean_channel.transmit(frame.waveform))
+        result = Receiver().decode(obs)
+        raw = result.decoded.psdu if result.decoded else b""
+        recovered = parse_ampdu(raw)
+        assert [f.mpdu.payload for f in recovered] == payloads

@@ -1,0 +1,43 @@
+"""Unit tests for AWGN generation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn, complex_gaussian
+
+
+class TestComplexGaussian:
+    def test_variance(self, rng):
+        samples = complex_gaussian(200_000, 0.5, rng)
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(0.5, rel=0.02)
+
+    def test_circular_symmetry(self, rng):
+        samples = complex_gaussian(200_000, 1.0, rng)
+        assert np.mean(samples.real**2) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(samples.imag**2) == pytest.approx(0.5, rel=0.05)
+        assert abs(np.mean(samples.real * samples.imag)) < 0.01
+
+    def test_shape(self, rng):
+        assert complex_gaussian((3, 4), 1.0, rng).shape == (3, 4)
+
+    def test_negative_variance_rejected(self, rng):
+        with pytest.raises(ValueError):
+            complex_gaussian(10, -1.0, rng)
+
+
+class TestAddAwgn:
+    def test_zero_variance_is_copy(self, rng):
+        wave = np.ones(10, dtype=complex)
+        out = add_awgn(wave, 0.0, rng)
+        assert np.array_equal(out, wave)
+        assert out is not wave
+
+    def test_adds_expected_power(self, rng):
+        wave = np.zeros(100_000, dtype=complex)
+        out = add_awgn(wave, 0.25, rng)
+        assert np.mean(np.abs(out) ** 2) == pytest.approx(0.25, rel=0.03)
+
+    def test_preserves_signal_mean(self, rng):
+        wave = np.full(100_000, 2.0 + 1.0j)
+        out = add_awgn(wave, 0.1, rng)
+        assert np.mean(out) == pytest.approx(2.0 + 1.0j, rel=0.01)

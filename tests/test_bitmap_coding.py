@@ -1,0 +1,94 @@
+"""Unit tests for the bitmap-coding baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cos.bitmap_coding import BitmapPlanner
+from repro.cos.intervals import IntervalCodec
+from repro.cos.silence import SilencePlanner
+
+
+class TestBitmapPlanner:
+    def test_roundtrip(self, rng):
+        planner = BitmapPlanner(list(range(8)))
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        plan = planner.plan(bits, n_symbols=20)
+        assert np.array_equal(planner.recover_bits(plan.mask, 100), bits)
+
+    def test_silence_count_equals_ones(self, rng):
+        planner = BitmapPlanner([0, 1])
+        bits = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        plan = planner.plan(bits, n_symbols=10)
+        assert plan.n_silences == 4
+        assert plan.mask.sum() == 4
+
+    def test_truncates_to_stream(self):
+        planner = BitmapPlanner([0])
+        bits = np.ones(100, dtype=np.uint8)
+        plan = planner.plan(bits, n_symbols=5)
+        assert plan.embedded_bits.size == 5
+
+    def test_capacity(self):
+        assert BitmapPlanner(list(range(4))).capacity_bits(10) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitmapPlanner([])
+        with pytest.raises(ValueError):
+            BitmapPlanner([1, 1])
+        with pytest.raises(ValueError):
+            BitmapPlanner([48])
+
+
+class TestSchemeComparison:
+    def test_interval_coding_uses_fewer_silences(self, rng):
+        """The core trade-off: intervals spend ~1/k silences per bit,
+        bitmap spends ~1/2 — interval coding preserves ~4x more of the
+        channel code's correction budget at k=4."""
+        subcarriers = list(range(16))
+        bits = rng.integers(0, 2, 256, dtype=np.uint8)
+
+        interval_plan = SilencePlanner(subcarriers).plan(bits, n_symbols=60)
+        bitmap_plan = BitmapPlanner(subcarriers).plan(bits, n_symbols=60)
+
+        assert interval_plan.embedded_bits.size == bits.size
+        assert bitmap_plan.embedded_bits.size == bits.size
+        assert interval_plan.n_silences < bitmap_plan.n_silences / 1.5
+
+    def test_bitmap_tolerates_single_detection_error(self, rng):
+        """One flipped cell costs bitmap one bit; intervals lose sync."""
+        subcarriers = list(range(8))
+        bits = rng.integers(0, 2, 64, dtype=np.uint8)
+
+        bitmap = BitmapPlanner(subcarriers)
+        plan = bitmap.plan(bits, n_symbols=20)
+        corrupted = plan.mask.copy()
+        corrupted[0, subcarriers[3]] ^= True
+        recovered = bitmap.recover_bits(corrupted, 64)
+        assert np.count_nonzero(recovered != bits) == 1
+
+        intervals = SilencePlanner(subcarriers)
+        iplan = intervals.plan(bits, n_symbols=40)
+        icorrupt = iplan.mask.copy()
+        # Remove the second silence: every interval after it shifts.
+        silent_cells = np.argwhere(iplan.mask)
+        icorrupt[tuple(silent_cells[1])] = False
+        try:
+            irecovered = intervals.recover_bits(icorrupt)
+            damage = (
+                irecovered.size != bits.size
+                or np.count_nonzero(irecovered != bits) > 1
+            )
+        except ValueError:
+            damage = True  # detected desync counts as (loud) damage
+        assert damage
+
+    def test_bitmap_needs_external_framing(self, rng):
+        """recover_bits without n_bits returns the whole stream —
+        trailing zeros are indistinguishable from absent data."""
+        planner = BitmapPlanner([0, 1])
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        plan = planner.plan(bits, n_symbols=10)
+        full = planner.recover_bits(plan.mask)
+        assert full.size == 20
+        assert np.array_equal(full[:3], bits)

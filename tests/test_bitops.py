@@ -1,0 +1,87 @@
+"""Unit tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    int_to_bits,
+    pad_bits,
+    random_bits,
+)
+
+
+class TestBytesBits:
+    def test_lsb_first_expansion(self):
+        assert bytes_to_bits(b"\x01").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bytes_to_bits(b"\x80").tolist() == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_empty(self):
+        assert bytes_to_bits(b"").size == 0
+        assert bits_to_bytes(np.zeros(0, dtype=np.uint8)) == b""
+
+    def test_non_octet_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+    def test_dtype(self):
+        assert bytes_to_bits(b"\xff").dtype == np.uint8
+
+
+class TestIntBits:
+    def test_lsb_first(self):
+        assert int_to_bits(6, 4).tolist() == [0, 1, 1, 0]
+
+    def test_msb_first_matches_paper_example(self):
+        # The paper maps "0010" -> 2 and "0110" -> 6 (MSB first).
+        assert int_to_bits(2, 4, lsb_first=False).tolist() == [0, 0, 1, 0]
+        assert int_to_bits(6, 4, lsb_first=False).tolist() == [0, 1, 1, 0]
+        assert int_to_bits(7, 4, lsb_first=False).tolist() == [0, 1, 1, 1]
+
+    def test_roundtrip_both_orders(self):
+        for value in (0, 1, 5, 14, 15):
+            for order in (True, False):
+                bits = int_to_bits(value, 4, lsb_first=order)
+                assert bits_to_int(bits, lsb_first=order) == value
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_full_width(self):
+        assert bits_to_int(int_to_bits(65535, 16)) == 65535
+
+
+class TestPadBits:
+    def test_no_padding_needed(self):
+        bits = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert pad_bits(bits, 4).tolist() == [1, 0, 1, 0]
+
+    def test_pads_with_zeros(self):
+        assert pad_bits(np.array([1], dtype=np.uint8), 4).tolist() == [1, 0, 0, 0]
+
+    def test_pads_with_value(self):
+        assert pad_bits(np.array([0], dtype=np.uint8), 3, value=1).tolist() == [0, 1, 1]
+
+
+class TestRandomBits:
+    def test_reproducible(self):
+        a = random_bits(100, np.random.default_rng(1))
+        b = random_bits(100, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_values_binary(self):
+        bits = random_bits(1000, np.random.default_rng(2))
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_roughly_balanced(self):
+        bits = random_bits(10000, np.random.default_rng(3))
+        assert 0.45 < bits.mean() < 0.55

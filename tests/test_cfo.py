@@ -1,0 +1,54 @@
+"""Tests for carrier-frequency-offset impairment and correction."""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro.phy.preamble import estimate_cfo, generate_preamble
+
+
+class TestCfoEstimation:
+    @pytest.mark.parametrize("cfo", [0.0, 1e3, 20e3, 100e3, -60e3])
+    def test_estimates_clean_preamble(self, cfo):
+        pre = generate_preamble()
+        n = np.arange(pre.size)
+        rotated = pre * np.exp(2j * np.pi * cfo * n / 20e6)
+        assert estimate_cfo(rotated) == pytest.approx(cfo, abs=50.0)
+
+    def test_estimates_under_noise(self, rng):
+        pre = generate_preamble()
+        n = np.arange(pre.size)
+        rotated = pre * np.exp(2j * np.pi * 40e3 * n / 20e6)
+        noisy = rotated + 0.05 * (
+            rng.standard_normal(pre.size) + 1j * rng.standard_normal(pre.size)
+        )
+        assert estimate_cfo(noisy) == pytest.approx(40e3, abs=1e3)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cfo(np.zeros(100, dtype=complex))
+
+
+class TestCfoLoopback:
+    @pytest.mark.parametrize("cfo", [10e3, 120e3, -80e3])
+    def test_decodes_with_offset(self, cfo, payload, psdu):
+        channel = IndoorChannel.position("A", snr_db=18.0, seed=3, cfo_hz=cfo)
+        frame = Transmitter().transmit(psdu, RATE_TABLE[24])
+        result = Receiver().receive(channel.transmit(frame.waveform))
+        assert result.ok and result.mpdu.payload == payload
+
+    def test_fails_without_correction(self, psdu):
+        """A large CFO must actually matter (the impairment is real)."""
+        channel = IndoorChannel.position("C", snr_db=25.0, seed=3, cfo_hz=100e3)
+        frame = Transmitter().transmit(psdu, RATE_TABLE[24])
+        result = Receiver(correct_cfo=False).receive(channel.transmit(frame.waveform))
+        assert not result.ok
+
+    def test_cos_link_with_cfo(self):
+        from repro.cos import CosLink
+
+        channel = IndoorChannel.position("A", snr_db=15.0, seed=5, cfo_hz=60e3)
+        link = CosLink(channel=channel)
+        stats = link.run(n_packets=8, payload=b"c" * 300)
+        assert stats.prr >= 0.85

@@ -1,0 +1,70 @@
+"""Tests for the analytical code properties."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.phy.code_analysis import erasure_budget, free_distance, union_bound_ber
+
+
+class TestFreeDistance:
+    def test_rate_half_is_ten(self):
+        """The K=7 (133,171) code's free distance is the classic 10."""
+        assert free_distance(Fraction(1, 2)) == 10
+
+    def test_rate_two_thirds_is_six(self):
+        assert free_distance(Fraction(2, 3)) == 6
+
+    def test_rate_three_quarters_is_five(self):
+        assert free_distance(Fraction(3, 4)) == 5
+
+    def test_ordering(self):
+        """Less puncturing, more distance — the Fig. 9 ceiling ordering."""
+        assert (
+            free_distance(Fraction(1, 2))
+            > free_distance(Fraction(2, 3))
+            > free_distance(Fraction(3, 4))
+        )
+
+    def test_erasure_budget(self):
+        assert erasure_budget(Fraction(1, 2)) == 9
+        assert erasure_budget(Fraction(3, 4)) == 4
+
+
+class TestUnionBound:
+    def test_decreases_with_snr(self):
+        bers = [union_bound_ber(snr) for snr in (2.0, 4.0, 6.0, 8.0)]
+        assert all(b < a for a, b in zip(bers, bers[1:]))
+
+    def test_small_at_high_snr(self):
+        assert union_bound_ber(10.0) < 1e-6
+
+    def test_capped_at_half(self):
+        assert union_bound_ber(-20.0) <= 0.5
+
+    def test_only_mother_rate(self):
+        with pytest.raises(ValueError):
+            union_bound_ber(5.0, Fraction(3, 4))
+
+    def test_empirical_decoder_beats_hard_bound_at_moderate_snr(self, rng):
+        """Our soft decoder must outperform the hard-decision bound."""
+        from repro.phy.convcode import conv_encode
+        from repro.phy.viterbi import ViterbiDecoder
+
+        snr_db = 4.0
+        ebn0 = 10 ** (snr_db / 10)
+        sigma = np.sqrt(1.0 / (2 * 0.5 * ebn0))  # rate-1/2 BPSK
+        errors = 0
+        total = 0
+        for seed in range(12):
+            local = np.random.default_rng(seed)
+            info = local.integers(0, 2, 300, dtype=np.uint8)
+            coded = conv_encode(np.concatenate([info, np.zeros(6, dtype=np.uint8)]))
+            tx = 1.0 - 2.0 * coded.astype(float)
+            llrs = 2.0 * (tx + sigma * local.standard_normal(tx.size)) / sigma**2
+            decoded = ViterbiDecoder().decode(llrs)
+            errors += int(np.count_nonzero(decoded[:300] != info))
+            total += 300
+        empirical = errors / total
+        assert empirical <= union_bound_ber(snr_db) * 1.5

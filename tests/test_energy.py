@@ -1,0 +1,117 @@
+"""Unit tests for the silence-symbol energy detector."""
+
+import numpy as np
+import pytest
+
+from repro.cos.energy import EnergyDetector
+
+
+def _grid_with_silences(rng, n_sym=20, noise_var=0.01, gain=1.0, silent=None):
+    """Synthetic raw grid: unit-power symbols + noise, silences = noise only."""
+    grid = gain * np.exp(2j * np.pi * rng.random((n_sym, 48)))
+    noise = np.sqrt(noise_var / 2) * (
+        rng.standard_normal((n_sym, 48)) + 1j * rng.standard_normal((n_sym, 48))
+    )
+    truth = np.zeros((n_sym, 48), dtype=bool)
+    if silent:
+        for slot, sub in silent:
+            truth[slot, sub] = True
+            grid[slot, sub] = 0.0
+    return grid + noise, truth
+
+
+class TestThreshold:
+    def test_margin_applied(self):
+        det = EnergyDetector(margin_db=10.0)
+        assert det.threshold_for(0.01) == pytest.approx(0.1)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyDetector().threshold_for(-0.1)
+
+
+class TestDetection:
+    def test_detects_planted_silences(self, rng):
+        silent = [(0, 10), (3, 12), (7, 15)]
+        grid, truth = _grid_with_silences(rng, silent=silent)
+        report = EnergyDetector().detect(grid, range(9, 17), noise_var=0.01)
+        assert np.array_equal(report.mask, truth)
+
+    def test_only_control_subcarriers_flagged(self, rng):
+        grid, _ = _grid_with_silences(rng, silent=[(0, 5)])  # not in control set
+        report = EnergyDetector().detect(grid, [10, 11], noise_var=0.01)
+        assert not report.mask[:, 5].any()
+
+    def test_explicit_threshold(self, rng):
+        grid, truth = _grid_with_silences(rng, silent=[(1, 10)])
+        report = EnergyDetector().detect(
+            grid, [10], noise_var=0.01, threshold=0.05
+        )
+        assert report.threshold == pytest.approx(0.05)
+        assert np.array_equal(report.mask, truth)
+
+    def test_adaptive_raises_threshold_on_strong_subcarriers(self, rng):
+        gains = np.full(48, 25.0)  # strong: |H|^2 = 25
+        grid, truth = _grid_with_silences(rng, gain=5.0, silent=[(0, 10)])
+        det = EnergyDetector(margin_db=7.0, adaptive=True)
+        report = det.detect(
+            grid, [10], noise_var=0.01, h_gains=gains, min_symbol_energy=1.0
+        )
+        base = det.threshold_for(0.01)
+        assert report.threshold > base
+        assert np.array_equal(report.mask, truth)
+
+    def test_adaptive_never_exceeds_half_signal_floor(self):
+        det = EnergyDetector(margin_db=0.0, adaptive=True)
+        thresholds = det._per_subcarrier_thresholds(
+            noise_var=0.01, gains=np.full(48, 0.04), min_symbol_energy=1.0
+        )
+        assert np.all(thresholds <= 0.5 * 0.04 + 1e-12)
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            EnergyDetector().detect(np.zeros((2, 47)), [1], 0.01)
+
+    def test_bad_subcarrier_index_rejected(self, rng):
+        with pytest.raises(ValueError):
+            EnergyDetector().detect(np.zeros((2, 48)), [48], 0.01)
+
+    def test_energies_shape(self, rng):
+        grid, _ = _grid_with_silences(rng, n_sym=5)
+        report = EnergyDetector().detect(grid, [1, 2, 3], noise_var=0.01)
+        assert report.energies.shape == (5, 3)
+
+
+class TestStatisticalBehaviour:
+    def test_false_negative_rate_matches_theory(self, rng):
+        """P(noise energy > margin * sigma^2) = exp(-margin_linear)."""
+        noise_var = 0.02
+        det = EnergyDetector(margin_db=7.0, adaptive=False)
+        grid = np.sqrt(noise_var / 2) * (
+            rng.standard_normal((4000, 48)) + 1j * rng.standard_normal((4000, 48))
+        )
+        truth = np.ones((4000, 48), dtype=bool)  # everything is silence
+        report = det.detect(grid, range(48), noise_var=noise_var)
+        _, fn = EnergyDetector.confusion(report.mask, truth, range(48))
+        assert fn == pytest.approx(np.exp(-(10 ** 0.7)), rel=0.2)
+
+    def test_confusion_perfect(self, rng):
+        mask = np.zeros((3, 48), dtype=bool)
+        mask[0, 4] = True
+        fp, fn = EnergyDetector.confusion(mask, mask, [4, 5])
+        assert fp == 0.0 and fn == 0.0
+
+    def test_confusion_counts(self):
+        truth = np.zeros((1, 48), dtype=bool)
+        truth[0, 1] = True
+        detected = np.zeros((1, 48), dtype=bool)
+        detected[0, 2] = True
+        fp, fn = EnergyDetector.confusion(detected, truth, [1, 2, 3])
+        assert fn == 1.0  # the one silence was missed
+        assert fp == pytest.approx(0.5)  # one of two active cells flagged
+
+    def test_confusion_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            EnergyDetector.confusion(
+                np.zeros((1, 48), dtype=bool), np.zeros((2, 48), dtype=bool), [1]
+            )

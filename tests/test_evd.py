@@ -1,0 +1,95 @@
+"""Unit tests for erasure Viterbi decoding."""
+
+import numpy as np
+import pytest
+
+from repro.cos.evd import ErasureViterbiDecoder, erase_bit_metrics
+from repro.phy.params import RATE_TABLE
+from repro.phy.plcp import encode_data_field
+from repro.phy.modulation import get_modulation
+
+
+class TestEraseBitMetrics:
+    def test_zeroes_masked_symbols(self):
+        llrs = np.ones(2 * 48 * 4)
+        mask = np.zeros((2, 48), dtype=bool)
+        mask[0, 3] = True
+        out = erase_bit_metrics(llrs, mask, n_bpsc=4)
+        grid = out.reshape(2, 48, 4)
+        assert np.all(grid[0, 3] == 0.0)
+        assert grid.sum() == llrs.sum() - 4
+
+    def test_input_not_mutated(self):
+        llrs = np.ones(48)
+        mask = np.zeros((1, 48), dtype=bool)
+        mask[0, 0] = True
+        erase_bit_metrics(llrs, mask, n_bpsc=1)
+        assert llrs[0] == 1.0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            erase_bit_metrics(np.ones(10), np.zeros((1, 48), dtype=bool), n_bpsc=1)
+
+
+def _encode_to_grid(psdu, rate):
+    coded = encode_data_field(psdu, rate)
+    mod = get_modulation(rate.modulation)
+    return mod.map_bits(coded).reshape(-1, 48)
+
+
+class TestErasureViterbiDecoder:
+    def test_clean_decode(self, rng):
+        rate = RATE_TABLE[24]
+        psdu = bytes(rng.integers(0, 256, 60, dtype=np.uint8))
+        grid = _encode_to_grid(psdu, rate)
+        decoder = ErasureViterbiDecoder(rate)
+        decoded = decoder.decode(grid)
+        from repro.phy.plcp import build_data_bits
+
+        assert np.array_equal(decoded, build_data_bits(psdu, rate))
+
+    def test_silences_recovered_with_erasure_mask(self, rng):
+        rate = RATE_TABLE[24]
+        psdu = bytes(rng.integers(0, 256, 60, dtype=np.uint8))
+        grid = _encode_to_grid(psdu, rate)
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[::2, 10] = True
+        mask[1::3, 30] = True
+        silenced = np.where(mask, 0.0, grid)
+        decoder = ErasureViterbiDecoder(rate)
+        decoded = decoder.decode(silenced, erasure_mask=mask)
+        from repro.phy.plcp import build_data_bits
+
+        assert np.array_equal(decoded, build_data_bits(psdu, rate))
+
+    def test_error_only_decoding_struggles_at_high_silence_load(self, rng):
+        """Without the erasure mask the zero-power symbols act as errors;
+        with it they are recovered — the §III-E comparison."""
+        rate = RATE_TABLE[36]  # 3/4 code: thin margin
+        failures_evd = 0
+        failures_err = 0
+        for seed in range(8):
+            local = np.random.default_rng(seed)
+            psdu = bytes(local.integers(0, 256, 80, dtype=np.uint8))
+            grid = _encode_to_grid(psdu, rate)
+            mask = np.zeros(grid.shape, dtype=bool)
+            mask[:, ::5] = True  # silence every 5th subcarrier everywhere
+            silenced = np.where(mask, 0.0, grid)
+            decoder = ErasureViterbiDecoder(rate)
+            from repro.phy.plcp import build_data_bits
+
+            expected = build_data_bits(psdu, rate)
+            if not np.array_equal(decoder.decode(silenced, erasure_mask=mask), expected):
+                failures_evd += 1
+            if not np.array_equal(decoder.decode(silenced), expected):
+                failures_err += 1
+        assert failures_evd <= failures_err
+
+    def test_single_row_grid(self, rng):
+        rate = RATE_TABLE[6]
+        psdu = b"ab"
+        grid = _encode_to_grid(psdu, rate)
+        decoded = ErasureViterbiDecoder(rate).decode(grid)
+        from repro.phy.plcp import build_data_bits
+
+        assert np.array_equal(decoded, build_data_bits(psdu, rate))

@@ -1,0 +1,101 @@
+"""Unit tests for per-subcarrier EVM (eq. (1)) and ∇EVM (eq. (2))."""
+
+import numpy as np
+import pytest
+
+from repro.cos.evm import error_vector_magnitudes, nabla_evm, per_subcarrier_evm
+from repro.phy.modulation import get_modulation
+
+
+def _grids(rng, n_sym=30, noise=0.0):
+    mod = get_modulation("qpsk")
+    bits = rng.integers(0, 2, n_sym * 48 * 2, dtype=np.uint8)
+    ref = mod.map_bits(bits).reshape(n_sym, 48)
+    received = ref + np.sqrt(noise / 2) * (
+        rng.standard_normal(ref.shape) + 1j * rng.standard_normal(ref.shape)
+    )
+    return received, ref, mod
+
+
+class TestPerSubcarrierEvm:
+    def test_zero_for_perfect_reception(self, rng):
+        received, ref, mod = _grids(rng)
+        assert np.allclose(per_subcarrier_evm(received, ref, mod), 0.0)
+
+    def test_matches_noise_level(self, rng):
+        noise = 0.04
+        received, ref, mod = _grids(rng, n_sym=800, noise=noise)
+        evm = per_subcarrier_evm(received, ref, mod)
+        assert np.mean(evm) == pytest.approx(np.sqrt(noise), rel=0.05)
+
+    def test_normalised_by_constellation_power(self, rng):
+        """Doubling both grids doubles raw error but also the symbols; EVM
+        normalisation uses the constellation reference so it scales."""
+        received, ref, mod = _grids(rng, noise=0.02)
+        evm1 = per_subcarrier_evm(received, ref, mod)
+        evm2 = per_subcarrier_evm(2 * received, 2 * ref, mod)
+        assert np.allclose(evm2, 2 * evm1, rtol=1e-9)
+
+    def test_exclusion_mask(self, rng):
+        received, ref, mod = _grids(rng, n_sym=10)
+        received[0, 0] = 100.0  # a silence symbol would be way off
+        mask = np.zeros(ref.shape, dtype=bool)
+        mask[0, 0] = True
+        evm = per_subcarrier_evm(received, ref, mod, exclude_mask=mask)
+        assert evm[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_shape_mismatch_rejected(self, rng):
+        received, ref, mod = _grids(rng)
+        with pytest.raises(ValueError):
+            per_subcarrier_evm(received[:5], ref, mod)
+
+    def test_fully_excluded_subcarrier_is_zero(self, rng):
+        received, ref, mod = _grids(rng, n_sym=4, noise=0.1)
+        mask = np.zeros(ref.shape, dtype=bool)
+        mask[:, 7] = True
+        evm = per_subcarrier_evm(received, ref, mod, exclude_mask=mask)
+        assert evm[7] == 0.0
+
+
+class TestErrorVectorMagnitudes:
+    def test_shape(self, rng):
+        received, ref, _ = _grids(rng)
+        assert error_vector_magnitudes(received, ref).shape == (48,)
+
+    def test_known_offset(self, rng):
+        received, ref, _ = _grids(rng)
+        shifted = ref + 0.3
+        d = error_vector_magnitudes(shifted, ref)
+        assert np.allclose(d, 0.3)
+
+    def test_exclusion(self, rng):
+        received, ref, _ = _grids(rng, n_sym=3)
+        received[1, 5] = 99.0
+        mask = np.zeros(ref.shape, dtype=bool)
+        mask[1, 5] = True
+        d = error_vector_magnitudes(received, ref, exclude_mask=mask)
+        assert d[5] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestNablaEvm:
+    def test_identical_snapshots(self):
+        d = np.ones(48)
+        assert nabla_evm(d, d) == 0.0
+
+    def test_known_value(self):
+        d1 = np.zeros(48)
+        d2 = np.ones(48)
+        assert nabla_evm(d1, d2) == pytest.approx(1.0)
+
+    def test_small_change_small_nabla(self, rng):
+        d = rng.random(48) + 0.5
+        d2 = d * 1.01
+        assert nabla_evm(d, d2) < 0.02
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            nabla_evm(np.ones(48), np.zeros(48))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nabla_evm(np.ones(48), np.ones(47))

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each test executes the script's ``main()`` in-process (cheap parameters
+are already their defaults) and checks for its key output line.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "data PRR" in out
+        assert "0 µs" in out
+
+    def test_free_ack_piggyback(self, capsys):
+        _load("free_ack_piggyback").main()
+        out = capsys.readouterr().out
+        assert "airtime saved" in out
+
+    def test_load_balancing(self, capsys):
+        _load("load_balancing").main()
+        out = capsys.readouterr().out
+        assert "client ends on" in out
+
+    def test_interference_study(self, capsys):
+        _load("interference_study").main()
+        out = capsys.readouterr().out
+        assert "pulse duty" in out
+
+    def test_network_overhead(self, capsys):
+        _load("network_overhead").main()
+        out = capsys.readouterr().out
+        assert "goodput" in out
+
+    def test_trace_replay(self, capsys):
+        _load("trace_replay").main()
+        out = capsys.readouterr().out
+        assert "same fading trajectory" in out

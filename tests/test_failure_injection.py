@@ -1,0 +1,120 @@
+"""Failure-injection tests: the stack must degrade, never misbehave.
+
+Each test breaks one assumption of the closed loop — desynchronised
+control-subcarrier sets, corrupted feedback, truncated waveforms, hostile
+noise — and checks that the system fails *cleanly*: data integrity is
+never silently compromised, and control failures are reported, not
+hallucinated past CRC-grade checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.cos import CosLink, CosReceiver, CosTransmitter
+from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+
+
+class TestDesynchronisedControlSets:
+    def test_mismatched_subcarrier_sets(self):
+        """TX and RX disagree on the control set: data must still decode
+        (erasures are erasures), control is unreliable but bounded."""
+        channel = IndoorChannel.position("B", snr_db=19.0, seed=11)
+        tx = CosTransmitter(control_subcarriers=[5, 6, 7, 8])
+        rx = CosReceiver(control_subcarriers=[20, 21, 22, 23])
+        tx.enqueue_control([1, 0, 1, 1] * 4)
+        record = tx.build(bytes(300), RATE_TABLE[24], measured_snr_db=19.0)
+        result = rx.receive(channel.transmit(record.frame.waveform))
+        assert result.data_ok  # data plane must survive the desync
+        # Control bits recovered through the wrong set cannot silently
+        # equal the sent ones (they were never placed there).
+        assert not np.array_equal(result.control_bits, record.plan.embedded_bits)
+
+    def test_partial_overlap_does_not_crash(self):
+        channel = IndoorChannel.position("B", snr_db=19.0, seed=12)
+        tx = CosTransmitter(control_subcarriers=[5, 6, 7, 8])
+        rx = CosReceiver(control_subcarriers=[7, 8, 9, 10])
+        tx.enqueue_control([1, 1, 0, 0] * 4)
+        record = tx.build(bytes(300), RATE_TABLE[24], measured_snr_db=19.0)
+        result = rx.receive(channel.transmit(record.frame.waveform))
+        assert isinstance(result.control_bits, np.ndarray)
+
+
+class TestHostileWaveforms:
+    def test_pure_noise(self, rng):
+        rx = CosReceiver()
+        for scale in (0.01, 1.0, 100.0):
+            noise = scale * (rng.standard_normal(4000) + 1j * rng.standard_normal(4000))
+            result = rx.receive(noise)
+            assert not result.data_ok
+            assert result.control_bits.size == 0 or result.control_error is None
+
+    def test_truncated_frames(self, psdu, rng):
+        frame = Transmitter().transmit(psdu, RATE_TABLE[24])
+        rx = Receiver()
+        for cut in (10, 300, 321, 800, len(frame.waveform) - 200):
+            result = rx.receive(frame.waveform[:cut])
+            assert not result.ok
+
+    def test_zero_waveform(self):
+        result = Receiver().receive(np.zeros(2000, dtype=complex))
+        assert not result.ok
+
+    def test_dc_offset_waveform(self, psdu):
+        """A constant DC rider should not crash the pipeline."""
+        frame = Transmitter().transmit(psdu, RATE_TABLE[12])
+        result = Receiver().receive(frame.waveform + 0.05)
+        assert isinstance(result.ok, bool)
+
+    def test_repeated_preambles(self, psdu, rng):
+        """Back-to-back frames: decoder consumes the first cleanly."""
+        frame = Transmitter().transmit(psdu, RATE_TABLE[12])
+        double = np.concatenate([frame.waveform, frame.waveform])
+        result = Receiver().receive(double)
+        assert result.ok
+
+
+class TestDataIntegrityUnderControlFailure:
+    def test_control_errors_never_corrupt_payload(self):
+        """Across a lossy session, every CRC-accepted payload is exact."""
+        channel = IndoorChannel.position("A", snr_db=12.5, seed=13)
+        link = CosLink(channel=channel)
+        payload = bytes(range(100)) * 3
+        exact = 0
+        for i in range(15):
+            outcome = link.exchange(payload, [0, 1] * 10)
+            if outcome.data_ok:
+                exact += 1
+        # PRR can be whatever the channel gives; the CRC guarantee is the
+        # invariant (data_ok implies the payload was returned bit-exact,
+        # checked inside exchange via the MPDU parse).
+        assert exact >= 0
+
+    def test_all_silences_misdetected_still_crc_safe(self, rng):
+        """Force a pathological erasure mask: CRC must reject or pass
+        correctly, never accept garbage."""
+        channel = IndoorChannel.position("B", snr_db=20.0, seed=14)
+        psdu = build_mpdu(bytes(200))
+        frame = Transmitter().transmit(psdu, RATE_TABLE[24])
+        received = channel.transmit(frame.waveform)
+        mask = rng.random((frame.n_data_symbols, 48)) < 0.25  # random erasures
+        result = Receiver().receive(received, erasure_mask=mask)
+        if result.ok:
+            assert result.mpdu.payload == bytes(200)
+
+
+class TestRecoveryAfterOutage:
+    def test_link_recovers_after_deep_fade_period(self):
+        """Drive the channel through an outage; the loop must come back."""
+        channel = IndoorChannel.position("A", snr_db=15.0, seed=5)
+        link = CosLink(channel=channel)
+        before = link.run(5, bytes(300))
+        # Outage: crank noise up 25 dB for a few packets.
+        saved = channel.noise_var
+        channel.noise_var = saved * 300
+        during = link.run(4, bytes(300))
+        channel.noise_var = saved
+        after = link.run(5, bytes(300))
+        assert during.prr < 1.0
+        assert after.prr >= before.prr - 0.21
+        assert not link.controller.in_fallback or after.prr < 1.0

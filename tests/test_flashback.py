@@ -1,0 +1,115 @@
+"""Tests for the Flashback-style intended-interference baseline."""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.cos.flashback import FlashbackDetector, FlashbackTransmitter
+from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+
+
+class TestPlanning:
+    def test_interval_positions(self):
+        tx = FlashbackTransmitter(rng=0)
+        plan = tx.plan([0, 0, 1, 0, 0, 0, 0, 0], n_data_symbols=30)
+        # First flash at 0; interval 2 -> flash at 3; interval 0 -> at 4.
+        assert plan.symbol_indices.tolist() == [0, 3, 4]
+        assert plan.embedded_bits.size == 8
+
+    def test_truncates_to_packet(self):
+        tx = FlashbackTransmitter(rng=0)
+        plan = tx.plan(np.ones(400, dtype=np.uint8), n_data_symbols=10)
+        # All-ones intervals (15) never fit a 10-symbol packet.
+        assert plan.n_flashes == 0
+
+    def test_mixed_bits_fit(self):
+        tx = FlashbackTransmitter(rng=0)
+        plan = tx.plan(np.zeros(40, dtype=np.uint8), n_data_symbols=12)
+        assert 0 < plan.symbol_indices.max() < 12
+
+    def test_energy_cost(self):
+        tx = FlashbackTransmitter(flash_power=64.0, rng=0)
+        plan = tx.plan([0, 0, 0, 0], n_data_symbols=10)
+        assert tx.energy_cost(plan) == pytest.approx(64.0 * plan.n_flashes)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            FlashbackTransmitter(flash_power=0.0)
+        with pytest.raises(ValueError):
+            FlashbackDetector(threshold_factor=1.0)
+
+
+class TestEndToEnd:
+    def _run(self, bits, snr_db=15.0, seed=5):
+        channel = IndoorChannel.position("B", snr_db=snr_db, seed=seed)
+        phy_tx = Transmitter()
+        phy_rx = Receiver()
+        flash_tx = FlashbackTransmitter(rng=1)
+        detector = FlashbackDetector()
+        psdu = build_mpdu(bytes(400))
+        rate = RATE_TABLE[24]
+        frame = phy_tx.transmit(psdu, rate)
+        plan = flash_tx.plan(bits, frame.n_data_symbols)
+        on_air = flash_tx.apply(frame.waveform, plan)
+        received = channel.transmit(on_air)
+        detected = detector.detect(received, frame.n_data_symbols)
+        recovered = detector.recover_bits(received, frame.n_data_symbols)
+        result = phy_rx.receive(received)
+        return plan, result, detected, recovered
+
+    def test_flash_positions_detected(self, rng):
+        bits = rng.integers(0, 2, 16, dtype=np.uint8)
+        plan, _, detected, _ = self._run(bits)
+        assert np.array_equal(detected, np.sort(plan.symbol_indices))
+
+    def test_flash_bits_recovered(self, rng):
+        bits = rng.integers(0, 2, 16, dtype=np.uint8)
+        plan, _, _, recovered = self._run(bits)
+        assert np.array_equal(recovered, plan.embedded_bits)
+
+    def test_detectable_flashes_kill_the_packet(self, rng):
+        """The §V critique: a flash strong enough to detect puts SIR ~0 dB
+        on its whole symbol, and per-symbol interleaving makes that
+        unrecoverable — the flashed packet dies."""
+        bits = rng.integers(0, 2, 8, dtype=np.uint8)
+        _, result, _, _ = self._run(bits)
+        assert not result.ok
+
+    def test_gentle_flashes_spare_data_but_vanish(self, rng):
+        """The other horn of the dilemma: an 8x flash leaves the data
+        decodable but hides below OFDM's own PAPR peaks."""
+        channel = IndoorChannel.position("B", snr_db=15.0, seed=5)
+        frame = Transmitter().transmit(build_mpdu(bytes(400)), RATE_TABLE[12])
+        flash_tx = FlashbackTransmitter(flash_power=8.0, rng=4)
+        plan = flash_tx.plan(rng.integers(0, 2, 8, dtype=np.uint8),
+                             frame.n_data_symbols)
+        received = channel.transmit(flash_tx.apply(frame.waveform, plan))
+        assert Receiver().receive(received).ok  # data survives
+        detected = FlashbackDetector().detect(received, frame.n_data_symbols)
+        assert not np.array_equal(detected, np.sort(plan.symbol_indices))
+
+    def test_flash_degrades_symbol_evm(self, rng):
+        """The flashed symbol's subcarriers see ~signal-level extra
+        interference — degraded, not erased."""
+        channel = IndoorChannel.position("C", snr_db=28.0, seed=3)
+        phy_tx = Transmitter()
+        phy_rx = Receiver()
+        frame = phy_tx.transmit(build_mpdu(bytes(400)), RATE_TABLE[24])
+        flash_tx = FlashbackTransmitter(rng=2)
+        plan = flash_tx.plan([0, 0, 0, 0], frame.n_data_symbols)
+        received = channel.transmit(flash_tx.apply(frame.waveform, plan))
+        obs = phy_rx.observe(received)
+        err = np.abs(obs.eq_data_grid - frame.data_symbols).mean(axis=1)
+        flashed = plan.symbol_indices[0]
+        clean = [i for i in range(frame.n_data_symbols) if i not in plan.symbol_indices]
+        assert err[flashed] > 3 * np.mean(err[clean])
+
+    def test_flash_energy_vs_cos_savings(self, rng):
+        """Per control bit, Flashback *spends* ~16 sample-energies while
+        CoS *saves* one data-symbol energy per silence."""
+        tx = FlashbackTransmitter(rng=3)
+        bits = rng.integers(0, 2, 16, dtype=np.uint8)
+        plan = tx.plan(bits, 70)
+        assert plan.embedded_bits.size == 16
+        energy_per_bit = tx.energy_cost(plan) / 16
+        assert energy_per_bit > 10  # CoS's is negative (transmit less)

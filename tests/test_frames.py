@@ -1,0 +1,33 @@
+"""Unit tests for MPDU framing."""
+
+import pytest
+
+from repro.phy.frames import Mpdu, build_mpdu, parse_mpdu
+
+
+class TestMpdu:
+    def test_roundtrip(self):
+        psdu = build_mpdu(b"hello")
+        mpdu = parse_mpdu(psdu)
+        assert mpdu.fcs_ok
+        assert mpdu.payload == b"hello"
+
+    def test_adds_four_bytes(self):
+        assert len(build_mpdu(b"abc")) == 7
+
+    def test_corruption(self):
+        psdu = bytearray(build_mpdu(b"hello"))
+        psdu[2] ^= 0xFF
+        assert not parse_mpdu(bytes(psdu)).fcs_ok
+
+    def test_none_is_failure(self):
+        mpdu = parse_mpdu(None)
+        assert not mpdu.fcs_ok
+        assert mpdu.payload == b""
+
+    def test_short_frame_is_failure(self):
+        assert not parse_mpdu(b"ab").fcs_ok
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            build_mpdu(b"")

@@ -1,0 +1,46 @@
+"""Unit tests for the pulse interferer."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import PulseInterferer
+from repro.phy.params import SYMBOL_SAMPLES
+
+
+class TestPulseInterferer:
+    def test_zero_probability_no_change(self, rng):
+        wave = np.ones(800, dtype=complex)
+        out = PulseInterferer(symbol_probability=0.0, rng=rng).apply(wave)
+        assert np.array_equal(out, wave)
+
+    def test_adds_power_somewhere(self):
+        wave = np.zeros(80 * 100, dtype=complex)
+        out = PulseInterferer(
+            pulse_power=10.0, symbol_probability=0.5, rng=np.random.default_rng(1)
+        ).apply(wave)
+        assert np.max(np.abs(out) ** 2) > 1.0
+
+    def test_burst_rate_matches_probability(self):
+        n_windows = 2000
+        wave = np.zeros(SYMBOL_SAMPLES * n_windows, dtype=complex)
+        out = PulseInterferer(
+            pulse_power=100.0, symbol_probability=0.2, rng=np.random.default_rng(2)
+        ).apply(wave)
+        hit = (np.abs(out.reshape(n_windows, SYMBOL_SAMPLES)) ** 2).max(axis=1) > 1.0
+        assert hit.mean() == pytest.approx(0.2, abs=0.03)
+
+    def test_original_untouched(self, rng):
+        wave = np.ones(160, dtype=complex)
+        PulseInterferer(symbol_probability=1.0, rng=rng).apply(wave)
+        assert np.all(wave == 1.0)
+
+    def test_short_waveform(self, rng):
+        wave = np.zeros(10, dtype=complex)
+        out = PulseInterferer(rng=rng).apply(wave)
+        assert out.size == 10
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            PulseInterferer(pulse_power=-1.0)
+        with pytest.raises(ValueError):
+            PulseInterferer(symbol_probability=1.5)

@@ -1,0 +1,74 @@
+"""Unit tests for the 802.11a block interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.phy.interleaver import deinterleave, interleave, interleaver_permutation
+from repro.phy.params import RATE_TABLE
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("mbps", sorted(RATE_TABLE))
+    def test_roundtrip_all_rates(self, mbps, rng):
+        rate = RATE_TABLE[mbps]
+        bits = rng.integers(0, 2, 3 * rate.n_cbps, dtype=np.uint8)
+        assert np.array_equal(deinterleave(interleave(bits, rate), rate), bits)
+
+    def test_permutation_is_bijection(self):
+        for rate in RATE_TABLE.values():
+            perm = interleaver_permutation(rate)
+            assert sorted(perm.tolist()) == list(range(rate.n_cbps))
+
+    def test_partial_block_rejected(self):
+        rate = RATE_TABLE[24]
+        with pytest.raises(ValueError):
+            interleave(np.zeros(rate.n_cbps + 1, dtype=np.uint8), rate)
+
+
+class TestSpreading:
+    def test_adjacent_coded_bits_spread_across_subcarriers(self):
+        """The first permutation maps adjacent bits ~Ncbps/16 apart."""
+        rate = RATE_TABLE[24]
+        perm = interleaver_permutation(rate)
+        n_bpsc = rate.n_bpsc
+        subcarrier_of = perm // n_bpsc
+        gaps = np.abs(np.diff(subcarrier_of[: rate.n_cbps // 2]))
+        assert np.median(gaps) >= 3
+
+    def test_symbol_erasure_spreads_in_codeword(self):
+        """Erasing one OFDM symbol's 4 bits of subcarrier j lands them far
+        apart after deinterleaving (the property EVD relies on)."""
+        rate = RATE_TABLE[24]
+        marked = np.zeros(rate.n_cbps)
+        # bits of subcarrier 10 occupy positions 40..43 in the mapped order
+        marked[10 * rate.n_bpsc : 11 * rate.n_bpsc] = 1.0
+        original = deinterleave(marked, rate)
+        positions = np.nonzero(original)[0]
+        assert positions.size == rate.n_bpsc
+        assert np.min(np.diff(positions)) > 8
+
+    def test_blockwise_independence(self, rng):
+        """Each n_cbps block interleaves independently."""
+        rate = RATE_TABLE[12]
+        b1 = rng.integers(0, 2, rate.n_cbps, dtype=np.uint8)
+        b2 = rng.integers(0, 2, rate.n_cbps, dtype=np.uint8)
+        both = interleave(np.concatenate([b1, b2]), rate)
+        assert np.array_equal(both[: rate.n_cbps], interleave(b1, rate))
+        assert np.array_equal(both[rate.n_cbps :], interleave(b2, rate))
+
+
+class TestStandardProperty:
+    def test_bpsk_second_permutation_identity(self):
+        """For BPSK (s=1) the second permutation is the identity, so the
+        interleaver is the pure 16-row block write/read."""
+        rate = RATE_TABLE[6]
+        perm = interleaver_permutation(rate)
+        k = np.arange(rate.n_cbps)
+        expected = (rate.n_cbps // 16) * (k % 16) + k // 16
+        assert np.array_equal(perm, expected)
+
+    def test_deinterleave_soft_values(self, rng):
+        rate = RATE_TABLE[54]
+        values = rng.normal(size=rate.n_cbps)
+        restored = deinterleave(interleave(values, rate), rate)
+        assert np.allclose(restored, values)

@@ -1,0 +1,94 @@
+"""Unit tests for the interval codec (control bits <-> silence positions)."""
+
+import numpy as np
+import pytest
+
+from repro.cos.intervals import IntervalCodec
+
+
+class TestPaperExample:
+    def test_section_ii_example(self):
+        """The paper's 24-bit example "001001101000001110100111" groups as
+        0010|0110|1000|0011|1010|0111, with 0010 -> 2, 0110 -> 6 and the
+        final 0111 -> 7 exactly as the text states."""
+        bits = [int(c) for c in "001001101000001110100111"]
+        codec = IntervalCodec(k=4)
+        assert codec.bits_to_intervals(bits) == [2, 6, 8, 3, 10, 7]
+
+    def test_first_group_maps_to_two(self):
+        codec = IntervalCodec(k=4)
+        assert codec.bits_to_intervals([0, 0, 1, 0]) == [2]
+        assert codec.bits_to_intervals([0, 1, 1, 0]) == [6]
+        assert codec.bits_to_intervals([0, 1, 1, 1]) == [7]
+
+
+class TestPositions:
+    def test_start_marker_at_zero(self):
+        codec = IntervalCodec()
+        assert codec.bits_to_positions([]) == [0]
+
+    def test_positions_from_intervals(self):
+        codec = IntervalCodec()
+        # interval 2 -> next silence at 0 + 2 + 1 = 3; interval 0 -> adjacent.
+        assert codec.bits_to_positions([0, 0, 1, 0, 0, 0, 0, 0]) == [0, 3, 4]
+
+    def test_roundtrip_random(self, rng):
+        codec = IntervalCodec()
+        for _ in range(20):
+            bits = rng.integers(0, 2, 48, dtype=np.uint8)
+            positions = codec.bits_to_positions(bits)
+            assert np.array_equal(codec.positions_to_bits(positions), bits)
+
+    def test_unsorted_positions_accepted(self):
+        codec = IntervalCodec()
+        bits = np.array([0, 0, 1, 0], dtype=np.uint8)
+        positions = codec.bits_to_positions(bits)
+        assert np.array_equal(codec.positions_to_bits(positions[::-1]), bits)
+
+    def test_k_granularity_enforced(self):
+        with pytest.raises(ValueError):
+            IntervalCodec(k=4).bits_to_intervals([1, 0, 1])
+
+
+class TestDecodeErrors:
+    def test_oversized_interval_rejected(self):
+        codec = IntervalCodec(k=4)
+        with pytest.raises(ValueError):
+            codec.positions_to_bits([0, 17])  # interval 16 > 15
+
+    def test_duplicate_positions_rejected(self):
+        codec = IntervalCodec()
+        with pytest.raises(ValueError):
+            codec.positions_to_bits([0, 0, 4])
+
+    def test_single_position_is_empty_message(self):
+        assert IntervalCodec().positions_to_bits([5]).size == 0
+
+    def test_no_positions_is_empty_message(self):
+        assert IntervalCodec().positions_to_bits([]).size == 0
+
+
+class TestCapacityAccounting:
+    def test_positions_needed_worst_case(self):
+        codec = IntervalCodec(k=4)
+        # 8 bits = 2 intervals of at most 15 -> 1 + 2*16 positions.
+        assert codec.positions_needed(8) == 33
+
+    def test_expected_positions(self):
+        codec = IntervalCodec(k=4)
+        assert codec.expected_positions(4) == pytest.approx(1 + 8.5)
+
+    def test_silences_for(self):
+        codec = IntervalCodec(k=4)
+        assert codec.silences_for(0) == 1
+        assert codec.silences_for(16) == 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            IntervalCodec(k=0)
+        with pytest.raises(ValueError):
+            IntervalCodec(k=17)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 8])
+    def test_max_interval(self, k):
+        assert IntervalCodec(k=k).max_interval == 2**k - 1

@@ -1,0 +1,123 @@
+"""Unit tests for the slotted DCF simulator."""
+
+import numpy as np
+import pytest
+
+from repro.mac.dcf import (
+    ACK_US,
+    CW_MAX,
+    CW_MIN,
+    DcfSimulator,
+    Frame,
+    MacStats,
+    Station,
+)
+
+
+def _data_frame(duration=500.0, bits=8192):
+    return Frame(kind="data", duration_us=duration, payload_bits=bits)
+
+
+class TestStation:
+    def test_backoff_in_window(self, rng):
+        station = Station(name="a", queue=[_data_frame()])
+        station.draw_backoff(rng)
+        assert 0 <= station.backoff <= CW_MIN
+
+    def test_collision_doubles_cw(self, rng):
+        station = Station(name="a", queue=[_data_frame()])
+        station.on_collision(rng)
+        assert station.cw == 2 * (CW_MIN + 1) - 1
+
+    def test_cw_capped(self, rng):
+        station = Station(name="a", queue=[_data_frame()])
+        for _ in range(12):
+            station.queue = [_data_frame()]
+            station.on_collision(rng)
+        assert station.cw <= CW_MAX
+
+    def test_retry_limit_drops(self, rng):
+        frame = _data_frame()
+        station = Station(name="a", queue=[frame])
+        for _ in range(10):
+            if not station.queue:
+                break
+            station.on_collision(rng)
+        assert not station.queue
+
+    def test_success_resets(self, rng):
+        station = Station(name="a", queue=[_data_frame(), _data_frame()])
+        station.cw = 255
+        station.on_success()
+        assert station.cw == CW_MIN
+        assert len(station.queue) == 1
+
+
+class TestSimulator:
+    def test_single_station_delivers_everything(self):
+        frames = [_data_frame() for _ in range(10)]
+        sim = DcfSimulator([Station(name="a", queue=list(frames))], rng=1)
+        stats = sim.run(duration_us=1e6)
+        assert stats.delivered_frames == 10
+        assert stats.collisions == 0
+        assert stats.delivered_bits == 10 * 8192
+
+    def test_airtime_accounting_consistent(self):
+        sim = DcfSimulator([Station(name="a", queue=[_data_frame()])], rng=1)
+        stats = sim.run(duration_us=1e5)
+        total = sum(stats.airtime_us.values())
+        assert total == pytest.approx(stats.elapsed_us, rel=0.01)
+        assert stats.airtime_us["ack"] == pytest.approx(ACK_US)
+
+    def test_contention_causes_collisions(self):
+        stations = [
+            Station(name=f"s{i}", queue=[_data_frame(duration=300.0) for _ in range(40)])
+            for i in range(8)
+        ]
+        stats = DcfSimulator(stations, rng=2).run(duration_us=2e5)
+        assert stats.collisions > 0
+
+    def test_goodput_decreases_with_contenders_at_saturation(self):
+        """With the same (saturating) offered load, collisions make many
+        contenders less efficient than one."""
+
+        def goodput(n):
+            per_station = 2400 // n
+            stations = [
+                Station(name=f"s{i}", queue=[_data_frame() for _ in range(per_station)])
+                for i in range(n)
+            ]
+            return DcfSimulator(stations, rng=3).run(duration_us=3e5).goodput_mbps
+
+        assert goodput(1) >= goodput(12)
+
+    def test_control_latency_recorded(self):
+        frames = [Frame(kind="control", duration_us=44.0, created_us=0.0)]
+        stats = DcfSimulator([Station(name="a", queue=frames)], rng=4).run(1e5)
+        assert len(stats.control_latencies_us) == 1
+        assert stats.control_latencies_us[0] > 0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DcfSimulator([Station(name="a"), Station(name="a")])
+
+    def test_empty_station_list_rejected(self):
+        with pytest.raises(ValueError):
+            DcfSimulator([])
+
+    def test_idle_when_no_traffic(self):
+        stats = DcfSimulator([Station(name="a")], rng=5).run(1e4)
+        assert stats.airtime_us["idle"] == pytest.approx(1e4)
+        assert stats.delivered_frames == 0
+
+    def test_deterministic_given_seed(self):
+        def run():
+            stations = [
+                Station(name=f"s{i}", queue=[_data_frame() for _ in range(20)])
+                for i in range(4)
+            ]
+            return DcfSimulator(stations, rng=7).run(2e5)
+
+        a, b = run(), run()
+        assert a.delivered_frames == b.delivered_frames
+        assert a.collisions == b.collisions

@@ -1,0 +1,37 @@
+"""Tests for the explicit-vs-CoS control overhead comparison."""
+
+import pytest
+
+from repro.mac.overhead import ControlScheme, run_overhead_comparison
+
+
+class TestOverheadComparison:
+    def test_cos_has_zero_control_airtime(self):
+        result = run_overhead_comparison(ControlScheme.COS, seed=1)
+        assert result.control_airtime_fraction == 0.0
+
+    def test_explicit_pays_control_airtime(self):
+        result = run_overhead_comparison(ControlScheme.EXPLICIT, seed=1)
+        assert result.control_airtime_fraction > 0.02
+
+    def test_cos_goodput_at_least_explicit(self):
+        explicit = run_overhead_comparison(ControlScheme.EXPLICIT, seed=2)
+        cos = run_overhead_comparison(ControlScheme.COS, seed=2)
+        assert cos.goodput_mbps >= explicit.goodput_mbps
+
+    def test_cos_delivery_prob_scales_deliveries(self):
+        high = run_overhead_comparison(ControlScheme.COS, cos_delivery_prob=0.99, seed=3)
+        low = run_overhead_comparison(ControlScheme.COS, cos_delivery_prob=0.5, seed=3)
+        assert high.control_messages_delivered > low.control_messages_delivered
+        assert low.mean_control_latency_us > high.mean_control_latency_us
+
+    def test_explicit_delivers_messages(self):
+        result = run_overhead_comparison(
+            ControlScheme.EXPLICIT, n_stations=2, packets_per_station=10, seed=4
+        )
+        assert result.control_messages_delivered > 0
+        assert result.mean_control_latency_us > 0
+
+    def test_attempt_accounting(self):
+        result = run_overhead_comparison(ControlScheme.COS, seed=5)
+        assert result.control_messages_delivered <= result.control_attempts

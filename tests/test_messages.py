@@ -1,0 +1,69 @@
+"""Unit tests for typed control messages."""
+
+import numpy as np
+import pytest
+
+from repro.cos.messages import (
+    AckMessage,
+    AirtimeGrant,
+    LoadReport,
+    RateRequest,
+    decode_message,
+    encode_message,
+)
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            AckMessage(seq=0),
+            AckMessage(seq=4095),
+            LoadReport(station_count=200, load_level=15),
+            RateRequest(rate_index=7),
+            AirtimeGrant(station=255, slots=128),
+        ],
+    )
+    def test_encode_decode(self, message):
+        bits = encode_message(message)
+        assert decode_message(bits) == message
+
+    def test_bit_widths_multiple_of_k(self):
+        for cls in (AckMessage, LoadReport, RateRequest, AirtimeGrant):
+            assert cls.n_bits() % 4 == 0, cls.__name__
+
+    def test_bits_are_binary(self):
+        bits = encode_message(AckMessage(seq=1234))
+        assert set(np.unique(bits)) <= {0, 1}
+
+
+class TestErrors:
+    def test_unknown_type_id(self):
+        bits = np.zeros(16, dtype=np.uint8)  # type id 0 unregistered
+        with pytest.raises(ValueError):
+            decode_message(bits)
+
+    def test_wrong_length(self):
+        bits = encode_message(AckMessage(seq=5))[:-1]
+        with pytest.raises(ValueError):
+            AckMessage.from_bits(bits)
+
+    def test_too_short_header(self):
+        with pytest.raises(ValueError):
+            decode_message(np.zeros(2, dtype=np.uint8))
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_message(AckMessage(seq=5000))  # > 12 bits
+
+
+class TestOverCosChannel:
+    def test_message_survives_interval_coding(self, rng):
+        """A message encoded to bits, planned to silences and recovered."""
+        from repro.cos.silence import SilencePlanner
+
+        message = LoadReport(station_count=42, load_level=9)
+        planner = SilencePlanner(list(range(8)))
+        plan = planner.plan(encode_message(message), n_symbols=30)
+        recovered_bits = planner.recover_bits(plan.mask)
+        assert decode_message(recovered_bits) == message

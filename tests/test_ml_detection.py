@@ -1,0 +1,71 @@
+"""Unit tests for the likelihood-ratio silence detector."""
+
+import numpy as np
+import pytest
+
+from repro.cos.energy import EnergyDetector
+from repro.cos.ml_detection import MlSilenceDetector
+from repro.phy.modulation import get_modulation
+
+
+def _scene(rng, mod_name, gain, noise_var, n_sym=200, silent_fraction=0.12):
+    """Random QAM symbols through a flat gain, with planted silences."""
+    mod = get_modulation(mod_name)
+    bits = rng.integers(0, 2, n_sym * 48 * mod.bits_per_symbol, dtype=np.uint8)
+    symbols = mod.map_bits(bits).reshape(n_sym, 48)
+    truth = rng.random((n_sym, 48)) < silent_fraction
+    sent = np.where(truth, 0.0, symbols) * gain
+    noise = np.sqrt(noise_var / 2) * (
+        rng.standard_normal((n_sym, 48)) + 1j * rng.standard_normal((n_sym, 48))
+    )
+    h = np.full(48, gain, dtype=complex)
+    return sent + noise, truth, h, mod
+
+
+class TestMlDetector:
+    def test_perfect_at_high_snr(self, rng):
+        grid, truth, h, mod = _scene(rng, "qpsk", gain=3.0, noise_var=0.01)
+        report = MlSilenceDetector().detect(grid, range(48), 0.01, h, mod)
+        fp, fn = EnergyDetector.confusion(report.mask, truth, range(48))
+        assert fp == 0.0 and fn == 0.0
+
+    def test_validates_inputs(self, rng):
+        det = MlSilenceDetector()
+        with pytest.raises(ValueError):
+            det.detect(np.zeros((1, 47)), [0], 0.01, np.ones(48), get_modulation("qpsk"))
+        with pytest.raises(ValueError):
+            det.detect(np.zeros((1, 48)), [99], 0.01, np.ones(48), get_modulation("qpsk"))
+        with pytest.raises(ValueError):
+            MlSilenceDetector(prior_silence=0.0)
+
+    def test_only_control_cells_flagged(self, rng):
+        grid, truth, h, mod = _scene(rng, "qpsk", gain=2.0, noise_var=0.05, n_sym=10)
+        report = MlSilenceDetector().detect(grid, [3, 4], 0.05, h, mod)
+        assert not report.mask[:, 10].any()
+
+    @pytest.mark.parametrize("mod_name", ["qpsk", "16qam", "64qam"])
+    def test_bayes_risk_beats_energy_detector_marginal_regime(self, mod_name):
+        """The LR test minimises the cell misclassification rate (Bayes
+        risk at the true prior); the energy threshold cannot do better in
+        the marginal regime where inner points hug the noise floor."""
+        rng = np.random.default_rng(7)
+        mod = get_modulation(mod_name)
+        # Choose gain so e_min * snr ~ 12 (the hard regime).
+        noise_var = 0.05
+        gain = np.sqrt(12.0 * noise_var / mod.min_symbol_energy)
+        grid, truth, h, _ = _scene(rng, mod_name, gain=gain, noise_var=noise_var)
+
+        ml = MlSilenceDetector().detect(grid, range(48), noise_var, h, mod)
+        en = EnergyDetector().detect(
+            grid, range(48), noise_var,
+            h_gains=np.abs(h) ** 2, min_symbol_energy=mod.min_symbol_energy,
+        )
+        err_ml = float((ml.mask != truth).mean())
+        err_en = float((en.mask != truth).mean())
+        assert err_ml <= err_en + 1e-4
+
+    def test_prior_shifts_decisions(self, rng):
+        grid, truth, h, mod = _scene(rng, "16qam", gain=1.0, noise_var=0.2, n_sym=100)
+        eager = MlSilenceDetector(prior_silence=0.9).detect(grid, range(48), 0.2, h, mod)
+        shy = MlSilenceDetector(prior_silence=0.01).detect(grid, range(48), 0.2, h, mod)
+        assert eager.mask.sum() > shy.mask.sum()

@@ -1,0 +1,127 @@
+"""Unit tests for constellation mapping/demapping."""
+
+import numpy as np
+import pytest
+
+from repro.phy.modulation import MODULATIONS, get_modulation
+
+
+class TestTables:
+    def test_registry(self):
+        assert set(MODULATIONS) == {"bpsk", "qpsk", "16qam", "64qam"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_modulation("8psk")
+
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_unit_average_energy(self, name):
+        mod = get_modulation(name)
+        energy = np.mean(np.abs(mod.constellation) ** 2)
+        assert energy == pytest.approx(1.0, rel=1e-12)
+
+    def test_constellation_sizes(self):
+        assert get_modulation("bpsk").constellation.size == 2
+        assert get_modulation("qpsk").constellation.size == 4
+        assert get_modulation("16qam").constellation.size == 16
+        assert get_modulation("64qam").constellation.size == 64
+
+    def test_min_distance_values(self):
+        assert get_modulation("bpsk").min_distance == pytest.approx(2.0)
+        assert get_modulation("qpsk").min_distance == pytest.approx(np.sqrt(2.0))
+        assert get_modulation("16qam").min_distance == pytest.approx(2 / np.sqrt(10))
+        assert get_modulation("64qam").min_distance == pytest.approx(2 / np.sqrt(42))
+
+    def test_min_symbol_energy(self):
+        assert get_modulation("qpsk").min_symbol_energy == pytest.approx(1.0)
+        assert get_modulation("16qam").min_symbol_energy == pytest.approx(0.2)
+        assert get_modulation("64qam").min_symbol_energy == pytest.approx(2 / 42)
+
+
+class TestMapping:
+    def test_bpsk_map(self):
+        mod = get_modulation("bpsk")
+        symbols = mod.map_bits(np.array([0, 1]))
+        assert symbols.tolist() == [(-1 + 0j), (1 + 0j)]
+
+    def test_qpsk_gray_map(self):
+        mod = get_modulation("qpsk")
+        s = mod.map_bits(np.array([0, 0, 1, 1]))
+        k = 1 / np.sqrt(2)
+        assert s[0] == pytest.approx(-k - k * 1j)
+        assert s[1] == pytest.approx(k + k * 1j)
+
+    def test_16qam_standard_points(self):
+        mod = get_modulation("16qam")
+        k = 1 / np.sqrt(10)
+        # (b0 b1 b2 b3) = 0000 -> I=-3, Q=-3 per Table 18-11.
+        assert mod.map_bits(np.array([0, 0, 0, 0]))[0] == pytest.approx(-3 * k - 3j * k)
+        # 1011 -> I=+3 (10), Q=+1 (11).
+        assert mod.map_bits(np.array([1, 0, 1, 1]))[0] == pytest.approx(3 * k + 1j * k)
+
+    def test_64qam_extreme_points(self):
+        mod = get_modulation("64qam")
+        k = 1 / np.sqrt(42)
+        assert mod.map_bits(np.array([0, 0, 0, 0, 0, 0]))[0] == pytest.approx(-7 * k - 7j * k)
+        assert mod.map_bits(np.array([1, 0, 0, 1, 0, 0]))[0] == pytest.approx(7 * k + 7j * k)
+
+    def test_wrong_bit_count_rejected(self):
+        with pytest.raises(ValueError):
+            get_modulation("16qam").map_bits(np.array([1, 0, 1]))
+
+
+class TestHardDemap:
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_roundtrip_noiseless(self, name, rng):
+        mod = get_modulation(name)
+        bits = rng.integers(0, 2, 60 * mod.bits_per_symbol, dtype=np.uint8)
+        assert np.array_equal(mod.demap_hard(mod.map_bits(bits)), bits)
+
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_roundtrip_small_noise(self, name, rng):
+        mod = get_modulation(name)
+        bits = rng.integers(0, 2, 60 * mod.bits_per_symbol, dtype=np.uint8)
+        symbols = mod.map_bits(bits)
+        noisy = symbols + (mod.min_distance / 4) * (
+            rng.standard_normal(symbols.size) * 0.3
+        )
+        assert np.array_equal(mod.demap_hard(noisy), bits)
+
+
+class TestSoftDemap:
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_llr_signs_match_hard_decision(self, name, rng):
+        mod = get_modulation(name)
+        bits = rng.integers(0, 2, 40 * mod.bits_per_symbol, dtype=np.uint8)
+        symbols = mod.map_bits(bits)
+        noisy = symbols + 0.05 * (
+            rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+        )
+        llrs = mod.demap_soft(noisy)
+        hard = (llrs < 0).astype(np.uint8)
+        assert np.array_equal(hard, mod.demap_hard(noisy))
+
+    def test_csi_scales_llrs(self):
+        mod = get_modulation("qpsk")
+        bits = np.array([0, 0, 1, 1], dtype=np.uint8)
+        symbols = mod.map_bits(bits)
+        base = mod.demap_soft(symbols, csi=1.0)
+        scaled = mod.demap_soft(symbols, csi=3.0)
+        assert np.allclose(scaled, 3.0 * base)
+
+    def test_per_symbol_csi(self):
+        mod = get_modulation("bpsk")
+        symbols = mod.map_bits(np.array([0, 0], dtype=np.uint8))
+        llrs = mod.demap_soft(symbols, csi=np.array([1.0, 5.0]))
+        assert llrs[1] == pytest.approx(5.0 * llrs[0])
+
+    def test_ambiguous_symbol_gives_zero_llr(self):
+        mod = get_modulation("bpsk")
+        llrs = mod.demap_soft(np.array([0.0 + 0.0j]))
+        assert llrs[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_llr_magnitude_grows_with_distance(self):
+        mod = get_modulation("bpsk")
+        near = abs(mod.demap_soft(np.array([0.1 + 0j]))[0])
+        far = abs(mod.demap_soft(np.array([0.9 + 0j]))[0])
+        assert far > near

@@ -1,0 +1,103 @@
+"""Unit tests for the tapped-delay-line multipath model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import (
+    POSITION_PROFILES,
+    TappedDelayLine,
+    exponential_pdp,
+    rayleigh_taps,
+)
+from repro.phy.params import CP_LEN, N_FFT
+
+
+class TestPdp:
+    def test_normalised(self):
+        assert exponential_pdp(8, 2.0).sum() == pytest.approx(1.0)
+
+    def test_monotone_decay(self):
+        pdp = exponential_pdp(10, 3.0)
+        assert np.all(np.diff(pdp) < 0)
+
+    def test_single_tap(self):
+        assert exponential_pdp(1, 1.0).tolist() == [1.0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            exponential_pdp(0, 1.0)
+        with pytest.raises(ValueError):
+            exponential_pdp(3, 0.0)
+
+
+class TestTaps:
+    def test_rayleigh_power_follows_pdp(self):
+        pdp = exponential_pdp(4, 1.5)
+        powers = np.zeros(4)
+        for seed in range(500):
+            taps = rayleigh_taps(pdp, np.random.default_rng(seed))
+            powers += np.abs(taps) ** 2
+        powers /= 500
+        assert np.allclose(powers, pdp, rtol=0.2)
+
+    def test_normalized_draw_unit_energy(self, rng):
+        tdl = TappedDelayLine.from_profile(6, 2.0, rng)
+        assert np.sum(np.abs(tdl.taps) ** 2) == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        a = TappedDelayLine.for_position("A", 3)
+        b = TappedDelayLine.for_position("A", 3)
+        assert np.array_equal(a.taps, b.taps)
+
+    def test_unknown_position(self):
+        with pytest.raises(KeyError):
+            TappedDelayLine.for_position("Z")
+
+    def test_profiles_fit_cyclic_prefix(self):
+        for profile in POSITION_PROFILES.values():
+            assert profile["n_taps"] <= CP_LEN
+
+    def test_severity_ordering(self):
+        """Position A must be more frequency-selective than C on average."""
+        def median_gap(name):
+            gaps = []
+            for seed in range(120):
+                tdl = TappedDelayLine.for_position(name, seed)
+                g = np.abs(tdl.frequency_response()) ** 2
+                g = g[g > 0]
+                gaps.append(10 * np.log10(g.max() / np.maximum(g.min(), 1e-12)))
+            return np.median(gaps)
+
+        assert median_gap("A") > median_gap("B") > median_gap("C")
+
+
+class TestApply:
+    def test_identity_channel(self, rng):
+        wave = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        assert np.allclose(TappedDelayLine.identity().apply(wave), wave)
+
+    def test_keeps_length(self, rng):
+        tdl = TappedDelayLine.from_profile(5, 1.0, rng)
+        wave = rng.standard_normal(500) + 0j
+        assert tdl.apply(wave).size == 500
+
+    def test_matches_frequency_response_on_cp_ofdm(self, rng):
+        """After CP removal, the channel is a per-bin multiplication."""
+        from repro.phy.ofdm import grid_to_time, map_to_grid, time_to_grid
+
+        tdl = TappedDelayLine.from_profile(6, 1.5, rng)
+        data = rng.standard_normal((2, 48)) + 1j * rng.standard_normal((2, 48))
+        grid = map_to_grid(data)
+        received = tdl.apply(grid_to_time(grid))
+        # Drop the first symbol (its CP absorbed the startup transient is
+        # fine; conv is causal so symbol 1 onward is exactly circular).
+        rx_grid = time_to_grid(received)
+        h = tdl.frequency_response()
+        used = grid[1] != 0
+        assert np.allclose(rx_grid[1, used], grid[1, used] * h[used], atol=1e-9)
+
+    def test_delay_spread(self):
+        flat = TappedDelayLine.identity()
+        assert flat.delay_spread_s == 0.0
+        spread = TappedDelayLine(taps=np.array([1.0, 0.0, 1.0], dtype=complex))
+        assert spread.delay_spread_s == pytest.approx(50e-9)

@@ -1,0 +1,48 @@
+"""Tests for the network-level comparison experiment and the runner."""
+
+import pytest
+
+from repro.experiments import network
+from repro.experiments.runner import main as runner_main
+
+
+class TestNetworkExperiment:
+    def test_cos_never_loses_goodput(self):
+        result = network.run(station_counts=[2, 6])
+        assert result.cos_never_loses_goodput()
+
+    def test_explicit_pays_airtime(self):
+        result = network.run(station_counts=[4])
+        assert result.explicit_control_airtime() > 0.02
+        assert result.cos[0].control_airtime_fraction == 0.0
+
+    def test_lower_delivery_prob_costs_latency(self):
+        good = network.run(station_counts=[4], cos_delivery_prob=0.99)
+        bad = network.run(station_counts=[4], cos_delivery_prob=0.6)
+        assert (
+            bad.cos[0].mean_control_latency_us
+            > good.cos[0].mean_control_latency_us
+        )
+
+    def test_print_result(self, capsys):
+        result = network.run(station_counts=[2])
+        network.print_result(result)
+        out = capsys.readouterr().out
+        assert "Network comparison" in out
+
+
+class TestRunner:
+    def test_runner_subset(self, capsys):
+        assert runner_main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "Fig. 3" not in out
+
+    def test_runner_network_stage(self, capsys):
+        assert runner_main(["network"]) == 0
+        out = capsys.readouterr().out
+        assert "Network comparison" in out
+
+    def test_unknown_stage_is_noop(self, capsys):
+        assert runner_main(["not-a-stage"]) == 0
+        assert "Fig." not in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Unit tests for OFDM grid mapping and (I)FFT modulation."""
+
+import numpy as np
+import pytest
+
+from repro.phy.ofdm import (
+    DATA_BINS,
+    PILOT_BINS,
+    extract_data,
+    extract_pilots,
+    grid_to_time,
+    map_to_grid,
+    subcarrier_noise_variance,
+    time_to_grid,
+)
+from repro.phy.params import CP_LEN, N_DATA_SUBCARRIERS, N_FFT, SYMBOL_SAMPLES
+
+
+class TestGridMapping:
+    def test_bin_sets_disjoint(self):
+        assert not set(DATA_BINS.tolist()) & set(PILOT_BINS.tolist())
+        assert 0 not in DATA_BINS  # DC is unused
+        assert len(DATA_BINS) == 48
+
+    def test_map_extract_roundtrip(self, rng):
+        data = rng.standard_normal((3, 48)) + 1j * rng.standard_normal((3, 48))
+        grid = map_to_grid(data)
+        assert np.allclose(extract_data(grid), data)
+
+    def test_guards_zero(self, rng):
+        grid = map_to_grid(np.ones((1, 48), dtype=complex))
+        used = set(DATA_BINS.tolist()) | set(PILOT_BINS.tolist())
+        for b in range(N_FFT):
+            if b not in used:
+                assert grid[0, b] == 0
+
+    def test_pilot_polarity_offset(self):
+        g0 = map_to_grid(np.zeros((2, 48), dtype=complex), symbol_offset=0)
+        g1 = map_to_grid(np.zeros((2, 48), dtype=complex), symbol_offset=1)
+        assert np.allclose(g0[1, PILOT_BINS], g1[0, PILOT_BINS])
+
+    def test_extract_pilots_matches_sent(self):
+        grid = map_to_grid(np.zeros((5, 48), dtype=complex), symbol_offset=3)
+        received, sent = extract_pilots(grid, symbol_offset=3)
+        assert np.allclose(received, sent)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            map_to_grid(np.zeros((1, 47), dtype=complex))
+
+
+class TestTimeDomain:
+    def test_grid_time_roundtrip(self, rng):
+        data = rng.standard_normal((4, 48)) + 1j * rng.standard_normal((4, 48))
+        grid = map_to_grid(data)
+        restored = time_to_grid(grid_to_time(grid))
+        assert np.allclose(restored, grid, atol=1e-12)
+
+    def test_sample_count(self):
+        grid = map_to_grid(np.zeros((3, 48), dtype=complex))
+        assert grid_to_time(grid).size == 3 * SYMBOL_SAMPLES
+
+    def test_cyclic_prefix_is_copy_of_tail(self, rng):
+        data = rng.standard_normal((1, 48)) + 1j * rng.standard_normal((1, 48))
+        samples = grid_to_time(map_to_grid(data))
+        assert np.allclose(samples[:CP_LEN], samples[N_FFT : N_FFT + CP_LEN])
+
+    def test_unit_average_power(self, rng):
+        """Fully-populated symbols have ~unit average time-sample power."""
+        data = (rng.standard_normal((50, 48)) + 1j * rng.standard_normal((50, 48))) / np.sqrt(2)
+        samples = grid_to_time(map_to_grid(data))
+        power = np.mean(np.abs(samples) ** 2)
+        assert power == pytest.approx(1.0, rel=0.1)
+
+    def test_partial_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            time_to_grid(np.zeros(SYMBOL_SAMPLES + 1, dtype=complex))
+
+
+class TestNoiseVariance:
+    def test_conversion_factor(self):
+        assert subcarrier_noise_variance(1.0) == pytest.approx(52 / 64)
+
+    def test_empirical(self, rng):
+        """White time noise appears with the predicted variance per bin."""
+        noise = (rng.standard_normal(400 * SYMBOL_SAMPLES)
+                 + 1j * rng.standard_normal(400 * SYMBOL_SAMPLES)) / np.sqrt(2)
+        grid = time_to_grid(noise)
+        measured = np.mean(np.abs(grid[:, DATA_BINS]) ** 2)
+        assert measured == pytest.approx(subcarrier_noise_variance(1.0), rel=0.05)

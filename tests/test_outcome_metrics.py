@@ -1,0 +1,90 @@
+"""Tests for ExchangeOutcome / LinkStats metric edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.cos.link import ExchangeOutcome, LinkStats
+
+
+def _outcome(sent, received, data_ok=True, silences=3):
+    return ExchangeOutcome(
+        data_ok=data_ok,
+        control_sent=np.asarray(sent, dtype=np.uint8),
+        control_received=np.asarray(received, dtype=np.uint8),
+        rate_mbps=24,
+        measured_snr_db=15.0,
+        actual_snr_db=17.0,
+        n_silences=silences,
+        detection_fp=0.0,
+        detection_fn=0.0,
+    )
+
+
+class TestControlOk:
+    def test_exact_match(self):
+        assert _outcome([0, 1, 1, 0], [0, 1, 1, 0]).control_ok
+
+    def test_length_mismatch(self):
+        assert not _outcome([0, 1, 1, 0], [0, 1]).control_ok
+
+    def test_bit_mismatch(self):
+        assert not _outcome([0, 1, 1, 0], [0, 1, 1, 1]).control_ok
+
+    def test_vacuous(self):
+        assert _outcome([], []).control_ok
+
+
+class TestGroupAccuracy:
+    def test_all_groups_good(self):
+        o = _outcome([0, 1, 1, 0] * 3, [0, 1, 1, 0] * 3)
+        assert o.control_group_accuracy() == 1.0
+
+    def test_prefix_semantics(self):
+        sent = [0, 0, 0, 0] + [1, 1, 1, 1] + [0, 1, 0, 1]
+        recv = [0, 0, 0, 0] + [1, 1, 1, 0] + [0, 1, 0, 1]
+        # Second group is wrong: desync kills it and everything after.
+        assert _outcome(sent, recv).control_group_accuracy() == pytest.approx(1 / 3)
+
+    def test_short_reception(self):
+        sent = [0, 1, 1, 0] * 4
+        recv = [0, 1, 1, 0]
+        assert _outcome(sent, recv).control_group_accuracy() == pytest.approx(1 / 4)
+
+    def test_nothing_sent(self):
+        assert _outcome([], [1, 0, 1, 0]).control_group_accuracy() == 1.0
+
+    def test_sub_group_remainder_ignored(self):
+        o = _outcome([0, 1, 1, 0, 1, 1], [0, 1, 1, 0, 1, 1])
+        assert o.control_group_accuracy() == 1.0  # one whole group, correct
+
+
+class TestLinkStats:
+    def test_empty(self):
+        stats = LinkStats()
+        assert stats.prr == 0.0
+        assert stats.control_accuracy == 1.0
+        assert stats.message_accuracy == 1.0
+        assert stats.control_bits_delivered == 0
+
+    def test_aggregates(self):
+        stats = LinkStats(
+            outcomes=[
+                _outcome([0, 1, 1, 0], [0, 1, 1, 0]),
+                _outcome([1, 1, 1, 1], [0, 0, 0, 0]),
+                _outcome([], [], data_ok=False, silences=0),
+            ]
+        )
+        assert stats.n_packets == 3
+        assert stats.prr == pytest.approx(2 / 3)
+        assert stats.control_accuracy == pytest.approx(1 / 2)
+        assert stats.message_accuracy == pytest.approx(1 / 2)
+        assert stats.control_bits_delivered == 4
+        assert stats.total_silences == 6
+
+    def test_message_accuracy_ge_packet_accuracy(self):
+        stats = LinkStats(
+            outcomes=[
+                _outcome([0, 1, 1, 0] * 2, [0, 1, 1, 0] + [1, 0, 0, 1]),
+            ]
+        )
+        assert stats.message_accuracy >= stats.control_accuracy

@@ -1,0 +1,82 @@
+"""Unit tests for the 802.11a parameter tables."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.phy.params import (
+    DATA_SUBCARRIER_INDICES,
+    N_DATA_SUBCARRIERS,
+    PILOT_SUBCARRIER_INDICES,
+    RATE_TABLE,
+    RATES_MBPS,
+    SYMBOL_DURATION_S,
+    SYMBOLS_PER_SECOND,
+    USED_SUBCARRIER_INDICES,
+    rate_for_mbps,
+)
+
+
+class TestSubcarrierPlan:
+    def test_counts(self):
+        assert len(DATA_SUBCARRIER_INDICES) == 48
+        assert len(PILOT_SUBCARRIER_INDICES) == 4
+        assert len(USED_SUBCARRIER_INDICES) == 52
+
+    def test_pilots_at_standard_positions(self):
+        assert set(PILOT_SUBCARRIER_INDICES) == {-21, -7, 7, 21}
+
+    def test_dc_unused(self):
+        assert 0 not in USED_SUBCARRIER_INDICES
+
+    def test_data_pilot_disjoint(self):
+        assert not set(DATA_SUBCARRIER_INDICES) & set(PILOT_SUBCARRIER_INDICES)
+
+    def test_symbol_timing(self):
+        assert SYMBOL_DURATION_S == pytest.approx(4e-6)
+        assert SYMBOLS_PER_SECOND == pytest.approx(250_000)
+
+
+class TestRateTable:
+    def test_all_standard_rates(self):
+        assert RATES_MBPS == (6, 9, 12, 18, 24, 36, 48, 54)
+
+    @pytest.mark.parametrize(
+        "mbps,n_dbps",
+        [(6, 24), (9, 36), (12, 48), (18, 72), (24, 96), (36, 144), (48, 192), (54, 216)],
+    )
+    def test_data_bits_per_symbol(self, mbps, n_dbps):
+        assert RATE_TABLE[mbps].n_dbps == n_dbps
+
+    @pytest.mark.parametrize("mbps,n_cbps", [(6, 48), (12, 96), (24, 192), (48, 288)])
+    def test_coded_bits_per_symbol(self, mbps, n_cbps):
+        assert RATE_TABLE[mbps].n_cbps == n_cbps
+
+    def test_rate_names(self):
+        assert RATE_TABLE[36].name == "(16QAM,3/4)"
+        assert RATE_TABLE[48].name == "(64QAM,2/3)"
+
+    def test_mbps_consistent_with_dbps(self):
+        for mbps, rate in RATE_TABLE.items():
+            # n_dbps bits every 4 us == mbps megabits per second.
+            assert rate.n_dbps / 4.0 == pytest.approx(mbps)
+
+    def test_signal_rate_bits_unique(self):
+        bits = [r.signal_rate_bits for r in RATE_TABLE.values()]
+        assert len(set(bits)) == len(bits)
+
+    def test_n_symbols_for(self):
+        # The paper's fixed 1024-byte packet at 24 Mbps:
+        # (16 + 8192 + 6) / 96 -> 86 symbols.
+        assert RATE_TABLE[24].n_symbols_for(1024) == 86
+        # And always at least one symbol.
+        assert RATE_TABLE[54].n_symbols_for(1) >= 1
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError):
+            rate_for_mbps(11)
+
+    def test_code_rates(self):
+        assert RATE_TABLE[24].code_rate == Fraction(1, 2)
+        assert RATE_TABLE[48].code_rate == Fraction(2, 3)
+        assert RATE_TABLE[54].code_rate == Fraction(3, 4)

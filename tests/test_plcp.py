@@ -1,0 +1,117 @@
+"""Unit tests for the PLCP SIGNAL field and DATA bit pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.phy.params import RATE_TABLE, SERVICE_BITS, TAIL_BITS
+from repro.phy.plcp import (
+    build_data_bits,
+    decode_data_field,
+    decode_signal_bits,
+    encode_data_field,
+    encode_signal_bits,
+    signal_bits_to_symbols,
+    signal_llrs_to_field,
+)
+from repro.phy.viterbi import hard_bits_to_llrs
+
+
+class TestSignalField:
+    @pytest.mark.parametrize("mbps", sorted(RATE_TABLE))
+    def test_roundtrip_all_rates(self, mbps):
+        rate = RATE_TABLE[mbps]
+        bits = encode_signal_bits(rate, 1024)
+        field = decode_signal_bits(bits)
+        assert field is not None
+        assert field.rate.mbps == mbps
+        assert field.length == 1024
+
+    def test_parity_failure_returns_none(self):
+        bits = encode_signal_bits(RATE_TABLE[24], 100)
+        bits[5] ^= 1
+        assert decode_signal_bits(bits) is None
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            encode_signal_bits(RATE_TABLE[24], 0)
+        with pytest.raises(ValueError):
+            encode_signal_bits(RATE_TABLE[24], 4096)
+
+    def test_tail_bits_zero(self):
+        bits = encode_signal_bits(RATE_TABLE[6], 37)
+        assert not bits[18:].any()
+
+    def test_symbol_count(self):
+        symbols = signal_bits_to_symbols(encode_signal_bits(RATE_TABLE[36], 500))
+        assert symbols.size == 48  # one BPSK OFDM symbol
+
+    def test_symbols_decode_back(self):
+        bits = encode_signal_bits(RATE_TABLE[48], 777)
+        symbols = signal_bits_to_symbols(bits)
+        llrs = hard_bits_to_llrs((symbols.real > 0).astype(np.uint8))
+        field = signal_llrs_to_field(llrs)
+        assert field is not None and field.length == 777 and field.rate.mbps == 48
+
+    def test_n_data_symbols(self):
+        field = decode_signal_bits(encode_signal_bits(RATE_TABLE[24], 1024))
+        # 16 + 8192 + 6 = 8214 bits over 96 dbps -> 86 symbols.
+        assert field.n_data_symbols == 86
+
+
+class TestDataBits:
+    def test_length_is_whole_symbols(self):
+        for mbps, rate in RATE_TABLE.items():
+            bits = build_data_bits(b"x" * 100, rate)
+            assert bits.size % rate.n_dbps == 0
+
+    def test_tail_and_pad_zero_after_scrambling(self):
+        rate = RATE_TABLE[24]
+        psdu = b"y" * 57
+        bits = build_data_bits(psdu, rate)
+        tail_start = SERVICE_BITS + 8 * len(psdu)
+        assert not bits[tail_start:].any()
+
+    def test_service_prefix_reveals_state(self):
+        from repro.phy.scrambler import Scrambler
+
+        bits = build_data_bits(b"z" * 10, RATE_TABLE[12], scrambler_state=0b0110011)
+        assert Scrambler.recover_state(bits[:7]) == 0b0110011
+
+
+class TestDataFieldPipeline:
+    @pytest.mark.parametrize("mbps", sorted(RATE_TABLE))
+    def test_clean_roundtrip(self, mbps, rng):
+        rate = RATE_TABLE[mbps]
+        psdu = bytes(rng.integers(0, 256, 121, dtype=np.uint8))
+        coded = encode_data_field(psdu, rate)
+        assert coded.size % rate.n_cbps == 0
+        decoded = decode_data_field(hard_bits_to_llrs(coded), rate, len(psdu))
+        assert decoded.psdu == psdu
+
+    def test_roundtrip_with_erasures(self, rng):
+        rate = RATE_TABLE[12]
+        psdu = bytes(rng.integers(0, 256, 200, dtype=np.uint8))
+        llrs = hard_bits_to_llrs(encode_data_field(psdu, rate))
+        idx = rng.choice(llrs.size, size=llrs.size // 10, replace=False)
+        llrs[idx] = 0.0
+        assert decode_data_field(llrs, rate, len(psdu)).psdu == psdu
+
+    def test_scrambled_bits_reencode_to_same_waveform(self, rng):
+        """DecodedData.scrambled_bits must regenerate the coded stream."""
+        from repro.phy.convcode import conv_encode, puncture
+        from repro.phy.interleaver import interleave
+
+        rate = RATE_TABLE[36]
+        psdu = bytes(rng.integers(0, 256, 90, dtype=np.uint8))
+        coded = encode_data_field(psdu, rate)
+        decoded = decode_data_field(hard_bits_to_llrs(coded), rate, len(psdu))
+        recoded = interleave(
+            puncture(conv_encode(decoded.scrambled_bits), rate.code_rate), rate
+        )
+        assert np.array_equal(recoded, coded)
+
+    def test_garbage_does_not_crash(self, rng):
+        rate = RATE_TABLE[24]
+        llrs = rng.normal(size=rate.n_cbps * 4)
+        decoded = decode_data_field(llrs, rate, 20)
+        assert isinstance(decoded.psdu, bytes)

@@ -1,0 +1,116 @@
+"""Unit tests for the PLCP preamble, channel estimation and sync."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import TappedDelayLine
+from repro.phy.ofdm import DATA_BINS
+from repro.phy.preamble import (
+    LTF_SAMPLES,
+    PREAMBLE_SAMPLES,
+    STF_SAMPLES,
+    estimate_channel,
+    estimate_noise_from_ltf,
+    generate_preamble,
+    ltf_frequency_symbol,
+    stf_frequency_symbol,
+    synchronize,
+)
+
+
+class TestGeneration:
+    def test_length(self):
+        assert generate_preamble().size == PREAMBLE_SAMPLES == 320
+        assert STF_SAMPLES + LTF_SAMPLES == PREAMBLE_SAMPLES
+
+    def test_stf_periodicity(self):
+        """The short training field repeats every 16 samples."""
+        pre = generate_preamble()
+        stf = pre[:STF_SAMPLES]
+        assert np.allclose(stf[:16], stf[16:32], atol=1e-12)
+        assert np.allclose(stf[:16], stf[144:160], atol=1e-12)
+
+    def test_ltf_twins_identical(self):
+        pre = generate_preamble()
+        first = pre[STF_SAMPLES + 32 : STF_SAMPLES + 32 + 64]
+        second = pre[STF_SAMPLES + 32 + 64 :]
+        assert np.allclose(first, second, atol=1e-12)
+
+    def test_ltf_sequence_is_pm_one_on_used_bins(self):
+        ltf = ltf_frequency_symbol()
+        used = ltf != 0
+        assert used.sum() == 52
+        assert np.allclose(np.abs(ltf[used]), 1.0)
+
+    def test_stf_uses_every_fourth_subcarrier(self):
+        stf = stf_frequency_symbol()
+        nonzero = np.nonzero(stf)[0]
+        assert len(nonzero) == 12
+        logical = [(b + 32) % 64 - 32 for b in nonzero]
+        assert all(k % 4 == 0 for k in logical)
+
+
+class TestChannelEstimation:
+    def test_identity_channel(self):
+        h = estimate_channel(generate_preamble())
+        used = ltf_frequency_symbol() != 0
+        assert np.allclose(h[used], 1.0, atol=1e-10)
+
+    def test_known_multipath(self, rng):
+        tdl = TappedDelayLine.from_profile(4, 1.0, rng)
+        received = tdl.apply(generate_preamble())
+        h = estimate_channel(received)
+        truth = tdl.frequency_response()
+        assert np.allclose(h[DATA_BINS], truth[DATA_BINS], atol=1e-8)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_channel(np.zeros(100, dtype=complex))
+
+
+class TestNoiseEstimation:
+    def test_noiseless_floor_near_zero(self):
+        assert estimate_noise_from_ltf(generate_preamble()) < 1e-20
+
+    def test_estimates_injected_noise(self, rng):
+        estimates = []
+        true_var = 0.04
+        for seed in range(30):
+            local = np.random.default_rng(seed)
+            noisy = generate_preamble() + np.sqrt(true_var / 2) * (
+                local.standard_normal(PREAMBLE_SAMPLES)
+                + 1j * local.standard_normal(PREAMBLE_SAMPLES)
+            )
+            estimates.append(estimate_noise_from_ltf(noisy))
+        # The LTF-difference estimator reports per-subcarrier variance,
+        # which for our scaling is time variance * 52/64.
+        expected = true_var * 52 / 64
+        assert np.mean(estimates) == pytest.approx(expected, rel=0.2)
+
+
+class TestSynchronize:
+    def test_finds_zero_offset(self):
+        pre = generate_preamble()
+        samples = np.concatenate([pre, np.zeros(200, dtype=complex)])
+        assert abs(synchronize(samples)) <= 1
+
+    def test_finds_shifted_frame(self, rng):
+        pre = generate_preamble()
+        offset = 73
+        samples = np.concatenate(
+            [
+                0.01 * (rng.standard_normal(offset) + 1j * rng.standard_normal(offset)),
+                pre,
+                np.zeros(100, dtype=complex),
+            ]
+        )
+        assert abs(synchronize(samples) - offset) <= 1
+
+    def test_robust_to_moderate_noise(self, rng):
+        pre = generate_preamble()
+        offset = 40
+        samples = np.concatenate([np.zeros(offset, dtype=complex), pre, np.zeros(80, dtype=complex)])
+        samples = samples + 0.2 * (
+            rng.standard_normal(samples.size) + 1j * rng.standard_normal(samples.size)
+        )
+        assert abs(synchronize(samples) - offset) <= 2

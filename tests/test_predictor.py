@@ -1,0 +1,74 @@
+"""Unit tests for the EVM predictor."""
+
+import numpy as np
+import pytest
+
+from repro.cos.predictor import EvmPredictor
+
+
+@pytest.fixture
+def evms(rng):
+    return 0.1 + 0.05 * rng.random(48)
+
+
+class TestEvmPredictor:
+    def test_first_update_is_identity(self, evms):
+        predictor = EvmPredictor()
+        assert np.allclose(predictor.update(evms), evms)
+
+    def test_smoothing_reduces_noise(self, rng):
+        """EWMA prediction tracks the mean closer than raw samples do."""
+        truth = 0.2 * np.ones(48)
+        predictor = EvmPredictor(alpha=0.3)
+        raw_err = []
+        smooth_err = []
+        for _ in range(50):
+            sample = truth + 0.05 * rng.standard_normal(48)
+            smoothed = predictor.update(sample)
+            raw_err.append(np.abs(sample - truth).mean())
+            smooth_err.append(np.abs(smoothed - truth).mean())
+        assert np.mean(smooth_err[10:]) < np.mean(raw_err[10:])
+
+    def test_tracks_drift(self):
+        predictor = EvmPredictor(alpha=0.5)
+        for level in np.linspace(0.1, 0.3, 20):
+            predicted = predictor.update(np.full(48, level))
+        assert predicted.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_staleness_resets(self, evms):
+        predictor = EvmPredictor(max_age_s=0.05)
+        predictor.update(evms)
+        predictor.advance(0.1)  # beyond max age
+        assert not predictor.has_history
+        assert predictor.predict() is None
+
+    def test_fresh_history_survives(self, evms):
+        predictor = EvmPredictor(max_age_s=0.05)
+        predictor.update(evms)
+        predictor.advance(0.01)
+        assert predictor.has_history
+
+    def test_update_resets_age(self, evms):
+        predictor = EvmPredictor(max_age_s=0.05)
+        predictor.update(evms)
+        for _ in range(10):
+            predictor.advance(0.03)
+            predictor.update(evms)
+        assert predictor.has_history
+
+    def test_predict_returns_copy(self, evms):
+        predictor = EvmPredictor()
+        predictor.update(evms)
+        out = predictor.predict()
+        out[:] = 99.0
+        assert predictor.predict()[0] != 99.0
+
+    def test_invalid_args(self, evms):
+        with pytest.raises(ValueError):
+            EvmPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EvmPredictor(max_age_s=-1.0)
+        with pytest.raises(ValueError):
+            EvmPredictor().update(np.zeros(47))
+        with pytest.raises(ValueError):
+            EvmPredictor().advance(-0.1)

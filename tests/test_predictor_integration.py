@@ -1,0 +1,48 @@
+"""Integration tests: the EVM predictor inside the closed loop."""
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.cos import CosLink, EvmPredictor
+
+
+class TestPredictorInLink:
+    def test_predictor_accumulates_history(self):
+        channel = IndoorChannel.position("A", snr_db=15.0, seed=5)
+        link = CosLink(channel=channel)
+        link.rx.predictor = EvmPredictor()
+        assert not link.rx.predictor.has_history
+        link.run(n_packets=3, payload=bytes(300))
+        assert link.rx.predictor.has_history
+
+    def test_predictor_ages_with_gap(self):
+        channel = IndoorChannel.position("A", snr_db=15.0, seed=5)
+        link = CosLink(channel=channel, inter_packet_gap_s=1.0)  # huge gaps
+        link.rx.predictor = EvmPredictor(max_age_s=0.08)
+        link.run(n_packets=2, payload=bytes(300))
+        # Each gap exceeds max age, so history resets between packets.
+        assert not link.rx.predictor.has_history
+
+    def test_predictor_not_worse_on_stable_channel(self):
+        def accuracy(with_predictor):
+            channel = IndoorChannel.position("A", snr_db=15.0, seed=5)
+            link = CosLink(channel=channel)
+            if with_predictor:
+                link.rx.predictor = EvmPredictor()
+            return link.run(n_packets=12, payload=bytes(300)).message_accuracy
+
+        assert accuracy(True) >= accuracy(False) - 0.1
+
+    def test_selection_uses_smoothed_values(self):
+        """A one-packet EVM spike must not flip the selected set when the
+        predictor carries stable history."""
+        predictor = EvmPredictor(alpha=0.2)
+        stable = np.full(48, 0.05)
+        stable[10] = 0.12
+        for _ in range(10):
+            predictor.update(stable + np.random.default_rng(1).normal(0, 0.001, 48))
+        spike = stable.copy()
+        spike[40] = 0.3  # transient
+        smoothed = predictor.update(spike)
+        assert smoothed[40] < 0.12  # spike damped below the true weak one

@@ -1,0 +1,75 @@
+"""Property-based tests (hypothesis) for bit utilities and the interval codec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cos.intervals import IntervalCodec
+from repro.utils.bitops import bits_to_bytes, bits_to_int, bytes_to_bits, int_to_bits
+from repro.utils.crc import append_fcs, check_fcs
+
+bit_lists = st.lists(st.integers(0, 1), max_size=256)
+
+
+class TestBitopsProperties:
+    @given(st.binary(max_size=512))
+    def test_bytes_bits_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.integers(0, 2**16 - 1), st.booleans())
+    def test_int_bits_roundtrip(self, value, lsb_first):
+        bits = int_to_bits(value, 16, lsb_first=lsb_first)
+        assert bits_to_int(bits, lsb_first=lsb_first) == value
+
+    @given(st.integers(1, 16), st.integers(0, 2**16 - 1))
+    def test_width_respected(self, width, value):
+        value %= 1 << width
+        assert int_to_bits(value, width).size == width
+
+
+class TestCrcProperties:
+    @given(st.binary(min_size=1, max_size=256))
+    def test_fcs_roundtrip(self, payload):
+        assert check_fcs(append_fcs(payload))
+
+    @given(st.binary(min_size=1, max_size=128), st.integers(0, 7), st.data())
+    def test_any_single_bitflip_detected(self, payload, bit, data):
+        frame = bytearray(append_fcs(payload))
+        idx = data.draw(st.integers(0, len(frame) - 1))
+        frame[idx] ^= 1 << bit
+        assert not check_fcs(bytes(frame))
+
+
+class TestIntervalCodecProperties:
+    @given(
+        st.integers(1, 8),
+        st.lists(st.integers(0, 1), min_size=0, max_size=96),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_any_k(self, k, bits):
+        codec = IntervalCodec(k=k)
+        bits = np.array(bits[: (len(bits) // k) * k], dtype=np.uint8)
+        positions = codec.bits_to_positions(bits)
+        assert np.array_equal(codec.positions_to_bits(positions), bits)
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=64))
+    @settings(max_examples=60)
+    def test_positions_strictly_increasing(self, bits):
+        codec = IntervalCodec(k=4)
+        usable = np.array(bits[: (len(bits) // 4) * 4], dtype=np.uint8)
+        positions = codec.bits_to_positions(usable)
+        assert all(b > a for a, b in zip(positions, positions[1:]))
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=64))
+    @settings(max_examples=60)
+    def test_silence_count_accounting(self, bits):
+        codec = IntervalCodec(k=4)
+        usable = np.array(bits[: (len(bits) // 4) * 4], dtype=np.uint8)
+        positions = codec.bits_to_positions(usable)
+        assert len(positions) == codec.silences_for(usable.size)
+
+    @given(st.integers(0, 96))
+    def test_worst_case_bounds_expected(self, n_bits):
+        codec = IntervalCodec(k=4)
+        n_bits -= n_bits % 4
+        assert codec.expected_positions(n_bits) <= codec.positions_needed(n_bits)

@@ -1,0 +1,111 @@
+"""Property-based tests for the CoS planning/recovery invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cos.messages import (
+    AckMessage,
+    AirtimeGrant,
+    LoadReport,
+    RateRequest,
+    decode_message,
+    encode_message,
+)
+from repro.cos.selection import FeedbackCodec
+from repro.cos.silence import SilencePlanner
+
+subcarrier_sets = st.lists(
+    st.integers(0, 47), min_size=1, max_size=16, unique=True
+)
+
+
+class TestPlannerProperties:
+    @given(
+        subcarrier_sets,
+        st.lists(st.integers(0, 1), max_size=120),
+        st.integers(1, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_plan_recover_roundtrip(self, subcarriers, bits, n_symbols):
+        """Whatever the planner embeds, recover_bits returns exactly."""
+        planner = SilencePlanner(subcarriers)
+        plan = planner.plan(np.array(bits, dtype=np.uint8), n_symbols)
+        assert np.array_equal(planner.recover_bits(plan.mask), plan.embedded_bits)
+
+    @given(
+        subcarrier_sets,
+        st.lists(st.integers(0, 1), max_size=120),
+        st.integers(1, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_embedded_is_prefix(self, subcarriers, bits, n_symbols):
+        planner = SilencePlanner(subcarriers)
+        bits = np.array(bits, dtype=np.uint8)
+        plan = planner.plan(bits, n_symbols)
+        assert np.array_equal(plan.embedded_bits, bits[: plan.embedded_bits.size])
+
+    @given(
+        subcarrier_sets,
+        st.lists(st.integers(0, 1), max_size=120),
+        st.integers(1, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mask_only_on_control_subcarriers(self, subcarriers, bits, n_symbols):
+        planner = SilencePlanner(subcarriers)
+        plan = planner.plan(np.array(bits, dtype=np.uint8), n_symbols)
+        silent_columns = set(np.nonzero(plan.mask)[1].tolist())
+        assert silent_columns <= set(subcarriers)
+
+    @given(
+        subcarrier_sets,
+        st.lists(st.integers(0, 1), max_size=120),
+        st.integers(1, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_silence_count_matches_mask(self, subcarriers, bits, n_symbols):
+        planner = SilencePlanner(subcarriers)
+        plan = planner.plan(np.array(bits, dtype=np.uint8), n_symbols)
+        assert int(plan.mask.sum()) == plan.n_silences
+        k = planner.codec.k
+        if plan.n_silences:
+            assert plan.n_silences == 1 + plan.embedded_bits.size // k
+
+
+class TestFeedbackProperties:
+    @given(st.lists(st.integers(0, 47), max_size=48, unique=True))
+    def test_feedback_roundtrip(self, subcarriers):
+        mask = FeedbackCodec.encode(subcarriers)
+        assert FeedbackCodec.decode(mask) == sorted(subcarriers)
+
+
+class TestMessageProperties:
+    @given(st.integers(0, 4095))
+    def test_ack_roundtrip(self, seq):
+        assert decode_message(encode_message(AckMessage(seq=seq))).seq == seq
+
+    @given(st.integers(0, 255), st.integers(0, 15))
+    def test_load_report_roundtrip(self, stations, load):
+        message = LoadReport(station_count=stations, load_level=load)
+        assert decode_message(encode_message(message)) == message
+
+    @given(st.integers(0, 15))
+    def test_rate_request_roundtrip(self, idx):
+        assert decode_message(encode_message(RateRequest(rate_index=idx))).rate_index == idx
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_airtime_grant_roundtrip(self, station, slots):
+        message = AirtimeGrant(station=station, slots=slots)
+        assert decode_message(encode_message(message)) == message
+
+    @given(st.integers(0, 4095), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_message_survives_planner(self, seq, data):
+        planner = SilencePlanner(
+            data.draw(st.lists(st.integers(0, 47), min_size=4, max_size=8, unique=True))
+        )
+        bits = encode_message(AckMessage(seq=seq))
+        plan = planner.plan(bits, n_symbols=30)
+        if plan.embedded_bits.size == bits.size:
+            recovered = planner.recover_bits(plan.mask)
+            assert decode_message(recovered).seq == seq

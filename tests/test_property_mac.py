@@ -1,0 +1,86 @@
+"""Property-based tests for the DCF simulator and the control stream."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cos.stream import ReliableControlReceiver, ReliableControlSender
+from repro.mac.dcf import DcfSimulator, Frame, Station
+
+
+def _stations(spec):
+    stations = []
+    for i, n_frames in enumerate(spec):
+        queue = [
+            Frame(kind="data", duration_us=200.0, payload_bits=1000)
+            for _ in range(n_frames)
+        ]
+        stations.append(Station(name=f"s{i}", queue=queue))
+    return stations
+
+
+class TestDcfProperties:
+    @given(
+        st.lists(st.integers(0, 12), min_size=1, max_size=6),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_airtime_accounts_for_elapsed_time(self, spec, seed):
+        stats = DcfSimulator(_stations(spec), rng=seed).run(duration_us=5e4)
+        total = sum(stats.airtime_us.values())
+        assert total >= stats.elapsed_us * 0.95
+        assert stats.elapsed_us <= 5e4 + 1000  # bounded overshoot (one txop)
+
+    @given(
+        st.lists(st.integers(1, 10), min_size=1, max_size=5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_delivered_never_exceeds_offered(self, spec, seed):
+        offered = sum(spec)
+        stats = DcfSimulator(_stations(spec), rng=seed).run(duration_us=1e6)
+        assert stats.delivered_frames + stats.drops <= offered
+
+    @given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_single_station_never_collides(self, n_frames, seed):
+        stats = DcfSimulator(_stations([n_frames]), rng=seed).run(duration_us=1e6)
+        assert stats.collisions == 0
+        assert stats.delivered_frames == n_frames
+
+
+class TestStreamProperties:
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_over_random_loss(self, data, seed):
+        """Any payload survives any i.i.d. loss pattern below 60 %."""
+        rng = np.random.default_rng(seed)
+        sender = ReliableControlSender(data)
+        receiver = ReliableControlReceiver()
+        for _ in range(3000):
+            if sender.done:
+                break
+            payload = sender.next_payload()
+            if rng.random() < 0.6:
+                continue
+            sender.on_ack(receiver.on_payload(payload))
+        assert sender.done
+        assert receiver.data(len(data)) == data
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_corruption_never_corrupts_output(self, data, seed):
+        """Bit-flipped frames are rejected by the checksum, so the
+        assembled prefix always matches the source."""
+        rng = np.random.default_rng(seed)
+        sender = ReliableControlSender(data)
+        receiver = ReliableControlReceiver()
+        for _ in range(2000):
+            if sender.done:
+                break
+            payload = sender.next_payload().copy()
+            if rng.random() < 0.3:
+                payload[rng.integers(0, payload.size)] ^= 1
+            sender.on_ack(receiver.on_payload(payload))
+        got = receiver.data(len(data))
+        assert data.startswith(got) or got == data

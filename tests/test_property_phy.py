@@ -1,0 +1,106 @@
+"""Property-based tests for the PHY component chain."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.convcode import conv_encode, depuncture, puncture
+from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.modulation import get_modulation
+from repro.phy.params import RATE_TABLE
+from repro.phy.scrambler import Scrambler
+from repro.phy.viterbi import ViterbiDecoder, hard_bits_to_llrs
+
+rates = st.sampled_from(sorted(RATE_TABLE))
+modulations = st.sampled_from(["bpsk", "qpsk", "16qam", "64qam"])
+
+
+class TestScramblerProperties:
+    @given(st.lists(st.integers(0, 1), max_size=300), st.integers(1, 127))
+    @settings(max_examples=40)
+    def test_involution(self, bits, state):
+        arr = np.array(bits, dtype=np.uint8)
+        once = Scrambler(state).scramble(arr)
+        twice = Scrambler(state).scramble(once)
+        assert np.array_equal(twice, arr)
+
+
+class TestCodingProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_viterbi_inverts_encoder(self, bits):
+        info = np.array(bits + [0] * 6, dtype=np.uint8)
+        decoded = ViterbiDecoder().decode(hard_bits_to_llrs(conv_encode(info)))
+        assert np.array_equal(decoded, info)
+
+    @given(rates, st.data())
+    @settings(max_examples=30)
+    def test_puncture_depuncture_positions(self, mbps, data):
+        rate = RATE_TABLE[mbps]
+        n_pairs = data.draw(st.integers(1, 20)) * 6  # whole periods for all rates
+        coded = np.arange(2 * n_pairs, dtype=np.float64)
+        sent = puncture(coded, rate.code_rate)
+        restored = depuncture(sent, rate.code_rate, fill=-1.0)
+        kept = restored != -1.0
+        assert np.array_equal(restored[kept], coded[kept])
+
+
+class TestInterleaverProperties:
+    @given(rates, st.integers(1, 4), st.data())
+    @settings(max_examples=30)
+    def test_roundtrip(self, mbps, n_blocks, data):
+        rate = RATE_TABLE[mbps]
+        bits = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, 1),
+                    min_size=n_blocks * rate.n_cbps,
+                    max_size=n_blocks * rate.n_cbps,
+                )
+            ),
+            dtype=np.uint8,
+        )
+        assert np.array_equal(deinterleave(interleave(bits, rate), rate), bits)
+
+
+class TestModulationProperties:
+    @given(modulations, st.data())
+    @settings(max_examples=40)
+    def test_map_demap_roundtrip(self, name, data):
+        mod = get_modulation(name)
+        n = data.draw(st.integers(1, 50)) * mod.bits_per_symbol
+        bits = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)),
+            dtype=np.uint8,
+        )
+        assert np.array_equal(mod.demap_hard(mod.map_bits(bits)), bits)
+
+    @given(modulations, st.data())
+    @settings(max_examples=30)
+    def test_soft_demap_agrees_with_hard(self, name, data):
+        mod = get_modulation(name)
+        n = data.draw(st.integers(1, 30)) * mod.bits_per_symbol
+        bits = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)),
+            dtype=np.uint8,
+        )
+        symbols = mod.map_bits(bits)
+        llr_hard = (mod.demap_soft(symbols) < 0).astype(np.uint8)
+        assert np.array_equal(llr_hard, bits)
+
+    @given(modulations)
+    def test_constellation_energy_normalised(self, name):
+        mod = get_modulation(name)
+        assert abs(np.mean(np.abs(mod.constellation) ** 2) - 1.0) < 1e-9
+
+
+class TestEndToEndBitPipeline:
+    @given(rates, st.binary(min_size=1, max_size=120))
+    @settings(max_examples=20, deadline=None)
+    def test_plcp_pipeline_roundtrip(self, mbps, psdu):
+        from repro.phy.plcp import decode_data_field, encode_data_field
+
+        rate = RATE_TABLE[mbps]
+        coded = encode_data_field(psdu, rate)
+        decoded = decode_data_field(hard_bits_to_llrs(coded), rate, len(psdu))
+        assert decoded.psdu == psdu

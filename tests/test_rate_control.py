@@ -1,0 +1,106 @@
+"""Unit tests for adaptive control-message rate selection."""
+
+import pytest
+
+from repro.cos.intervals import IntervalCodec
+from repro.cos.rate_control import (
+    DEFAULT_RM_TABLE,
+    ControlRateController,
+    ControlRateTable,
+)
+
+
+class TestControlRateTable:
+    def test_paper_anchor_64qam34(self):
+        """Rm at the 54 Mbps band edge is the paper's minimum, 33 000/s."""
+        table = ControlRateTable()
+        assert table.rm_for(22.4) == pytest.approx(33_000.0)
+
+    def test_paper_anchor_qpsk12_max(self):
+        """The QPSK-1/2 band tops out at the paper's maximum, 148 000/s."""
+        table = ControlRateTable()
+        assert table.rm_for(9.49) == pytest.approx(148_000.0, rel=0.02)
+
+    def test_interpolation_within_band(self):
+        table = ControlRateTable()
+        low = table.rm_for(12.0)
+        mid = table.rm_for(14.5)
+        high = table.rm_for(17.2)
+        assert low < mid < high
+
+    def test_lowest_rm(self):
+        assert ControlRateTable().lowest_rm() == min(
+            min(p) for p in DEFAULT_RM_TABLE.values()
+        )
+
+    def test_with_entry_recalibration(self):
+        table = ControlRateTable().with_entry(24, 1000.0, 2000.0)
+        assert table.rm_for(12.0) == pytest.approx(1000.0)
+        assert ControlRateTable().rm_for(12.0) != pytest.approx(1000.0)
+
+    def test_negative_rm_rejected(self):
+        with pytest.raises(ValueError):
+            ControlRateTable(rm_by_rate={24: (-1.0, 10.0)})
+
+    def test_capacity_132kbps_at_33k(self):
+        """The paper: 33 000 silences/s with k = 4 gives 132 kbps."""
+        controller = ControlRateController()
+        assert controller.control_capacity_bps(22.4) == pytest.approx(132_000.0)
+
+
+class TestAllocation:
+    def test_allocation_fields(self):
+        controller = ControlRateController()
+        alloc = controller.allocation(15.0, n_data_symbols=60)
+        assert alloc.n_control_subcarriers >= 1
+        assert alloc.max_control_bits > 0
+        assert alloc.max_control_bits % 4 == 0
+        assert alloc.target_silences > 0
+
+    def test_higher_rm_means_more_bits(self):
+        controller = ControlRateController()
+        low = controller.allocation(22.5, 60)  # 64QAM band: small Rm
+        high = controller.allocation(9.0, 60)  # QPSK band: large Rm
+        assert high.max_control_bits > low.max_control_bits
+
+    def test_subcarrier_cap(self):
+        controller = ControlRateController(max_subcarriers=4)
+        alloc = controller.allocation(9.0, 10)  # tiny packet, big budget
+        assert alloc.n_control_subcarriers <= 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ControlRateController(safety=0.0)
+        with pytest.raises(ValueError):
+            ControlRateController(max_subcarriers=0)
+        with pytest.raises(ValueError):
+            ControlRateController().allocation(10.0, 0)
+
+    def test_airtime(self):
+        # 60 data symbols: 16 + 4 + 240 us.
+        assert ControlRateController.packet_airtime_s(60) == pytest.approx(260e-6)
+
+
+class TestFallback:
+    def test_failure_triggers_lowest_rate(self):
+        controller = ControlRateController()
+        normal = controller.allocation(15.0, 60)
+        controller.on_data_result(False)
+        assert controller.in_fallback
+        fallback = controller.allocation(15.0, 60)
+        assert fallback.target_silences <= normal.target_silences
+
+    def test_success_restores(self):
+        controller = ControlRateController()
+        controller.on_data_result(False)
+        controller.on_data_result(True)
+        assert not controller.in_fallback
+
+    def test_fallback_matches_lowest_table_rate(self):
+        controller = ControlRateController(safety=1.0)
+        controller.on_data_result(False)
+        alloc = controller.allocation(15.0, 60)
+        expected = int(
+            controller.table.lowest_rm() * ControlRateController.packet_airtime_s(60)
+        )
+        assert alloc.target_silences == expected

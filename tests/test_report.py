@@ -1,0 +1,43 @@
+"""Tests for the markdown report generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_subset_contains_only_requested(self):
+        report = generate_report(stages=["fig2"])
+        assert "Fig. 2" in report
+        assert "Fig. 3" not in report
+        assert "```" in report
+
+    def test_header_mentions_scale(self):
+        report = generate_report(stages=["fig2"])
+        assert "quick scale" in report
+
+    def test_full_mode_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        # Don't actually run a full-scale stage; empty subset still renders.
+        report = generate_report(stages=[])
+        assert "paper scale" in report
+
+    def test_empty_stage_list(self):
+        report = generate_report(stages=[])
+        assert report.startswith("# CoS reproduction")
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "out.md", stages=["fig2"])
+        assert Path(path).exists()
+        assert "Fig. 2" in Path(path).read_text()
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "cli.md"
+        assert main(["report", str(target), "--stages", "fig2"]) == 0
+        assert target.exists()

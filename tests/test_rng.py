@@ -1,0 +1,36 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_int_reproducible(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(1, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_reproducible(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(42, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(42, 3)]
+        assert first == second
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

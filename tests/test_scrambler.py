@@ -1,0 +1,85 @@
+"""Unit tests for the 802.11a scrambler and pilot polarity sequence."""
+
+import numpy as np
+import pytest
+
+from repro.phy.scrambler import Scrambler, pilot_polarity_sequence, scrambler_sequence
+
+
+class TestScramblerSequence:
+    def test_period_127(self):
+        seq = scrambler_sequence(254, 0b1111111)
+        assert np.array_equal(seq[:127], seq[127:])
+
+    def test_first_bits_of_all_ones_seed(self):
+        # Clause 18.3.5.5: the all-ones seed starts 0000 1110 1111 ...
+        seq = scrambler_sequence(16, 0b1111111)
+        assert seq[:8].tolist() == [0, 0, 0, 0, 1, 1, 1, 0]
+
+    def test_balanced_over_period(self):
+        seq = scrambler_sequence(127, 0b1111111)
+        # A maximal-length 7-bit LFSR emits 64 ones and 63 zeros per period.
+        assert int(seq.sum()) == 64
+
+    def test_nonzero_state_required(self):
+        with pytest.raises(ValueError):
+            scrambler_sequence(10, 0)
+        with pytest.raises(ValueError):
+            scrambler_sequence(10, 128)
+
+    def test_different_states_shift_sequence(self):
+        a = scrambler_sequence(127, 0b1111111)
+        b = scrambler_sequence(127, 0b1010101)
+        assert not np.array_equal(a, b)
+        # ... but one is a cyclic shift of the other (same m-sequence).
+        doubled = np.concatenate([a, a])
+        assert any(
+            np.array_equal(doubled[s : s + 127], b) for s in range(127)
+        )
+
+
+class TestScrambler:
+    def test_involution(self, rng):
+        bits = rng.integers(0, 2, 500, dtype=np.uint8)
+        scrambled = Scrambler(0b1011101).scramble(bits)
+        assert np.array_equal(Scrambler(0b1011101).scramble(scrambled), bits)
+
+    def test_actually_changes_bits(self):
+        bits = np.zeros(100, dtype=np.uint8)
+        assert Scrambler().scramble(bits).sum() > 0
+
+    def test_state_recovery(self):
+        for state in (1, 17, 0b1011101, 127):
+            service = np.zeros(7, dtype=np.uint8)
+            scrambled = Scrambler(state).scramble(service)
+            assert Scrambler.recover_state(scrambled) == state
+
+    def test_recovery_requires_seven_bits(self):
+        with pytest.raises(ValueError):
+            Scrambler.recover_state(np.zeros(3, dtype=np.uint8))
+
+    def test_all_zero_prefix_unreachable(self):
+        # No non-zero state produces seven consecutive zero outputs.
+        with pytest.raises(ValueError):
+            Scrambler.recover_state(np.zeros(7, dtype=np.uint8))
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            Scrambler(0)
+
+
+class TestPilotPolarity:
+    def test_values_pm_one(self):
+        seq = pilot_polarity_sequence(300)
+        assert set(np.unique(seq)) <= {-1.0, 1.0}
+
+    def test_cyclic_extension(self):
+        seq = pilot_polarity_sequence(254)
+        assert np.array_equal(seq[:127], seq[127:254])
+
+    def test_first_symbol_positive(self):
+        # p_0 = +1 (the SIGNAL symbol's pilots are not inverted).
+        assert pilot_polarity_sequence(1)[0] == 1.0
+
+    def test_length(self):
+        assert pilot_polarity_sequence(5).shape == (5,)

@@ -1,0 +1,104 @@
+"""Unit tests for subcarrier selection and feedback encoding."""
+
+import numpy as np
+import pytest
+
+from repro.cos.selection import FeedbackCodec, SubcarrierSelector
+from repro.phy.modulation import get_modulation
+
+
+class TestThresholdRule:
+    def test_selects_subcarriers_above_dm_half(self):
+        mod = get_modulation("16qam")
+        evms = np.full(48, 0.01)
+        evms[[3, 17]] = mod.min_distance / 2 + 0.01  # weak but detectable-ish
+        result = SubcarrierSelector(evm_ceiling=1.0).select(evms, mod)
+        assert result.subcarriers == [3, 17]
+        assert result.threshold == pytest.approx(mod.min_distance / 2)
+
+    def test_min_count_enforced_on_clean_channel(self):
+        mod = get_modulation("qpsk")
+        evms = np.linspace(0.01, 0.05, 48)
+        result = SubcarrierSelector(min_count=2, evm_ceiling=1.0).select(evms, mod)
+        assert len(result.subcarriers) == 2
+        # The two weakest (highest EVM) are chosen.
+        assert result.subcarriers == [46, 47]
+
+    def test_max_count_caps_selection(self):
+        mod = get_modulation("qpsk")
+        evms = np.full(48, 0.9)  # everything "weak"
+        result = SubcarrierSelector(max_count=4, evm_ceiling=2.0).select(evms, mod)
+        assert len(result.subcarriers) == 4
+
+    def test_target_count_overrides(self):
+        mod = get_modulation("qpsk")
+        evms = np.linspace(0.01, 0.3, 48)
+        result = SubcarrierSelector(evm_ceiling=1.0).select(evms, mod, target_count=5)
+        assert len(result.subcarriers) == 5
+
+
+class TestDetectabilityCeiling:
+    def test_ceiling_from_modulation(self):
+        sel = SubcarrierSelector(detectability_factor=60.0)
+        qpsk = sel.ceiling_for(get_modulation("qpsk"))
+        qam64 = sel.ceiling_for(get_modulation("64qam"))
+        assert qpsk == pytest.approx(np.sqrt(1 / 60))
+        assert qam64 < qpsk  # higher-order modulation needs stronger subcarriers
+
+    def test_dead_subcarriers_avoided(self):
+        mod = get_modulation("qpsk")
+        sel = SubcarrierSelector(detectability_factor=60.0)
+        ceiling = sel.ceiling_for(mod)
+        evms = np.full(48, 0.02)
+        evms[10] = ceiling - 0.001  # weak but alive
+        evms[11] = 0.9  # dead
+        result = sel.select(evms, mod, target_count=1)
+        assert result.subcarriers == [10]
+
+    def test_dead_used_as_last_resort(self):
+        mod = get_modulation("qpsk")
+        sel = SubcarrierSelector(detectability_factor=60.0)
+        evms = np.full(48, 0.9)  # all dead
+        result = sel.select(evms, mod, target_count=3)
+        assert len(result.subcarriers) == 3
+
+    def test_explicit_ceiling_override(self):
+        sel = SubcarrierSelector(evm_ceiling=0.123)
+        assert sel.ceiling_for(get_modulation("64qam")) == 0.123
+
+
+class TestBitVector:
+    def test_bit_vector_consistent(self):
+        mod = get_modulation("qpsk")
+        evms = np.full(48, 0.01)
+        evms[7] = 0.1
+        result = SubcarrierSelector().select(evms, mod, target_count=1)
+        assert result.bit_vector.sum() == 1
+        assert result.bit_vector[result.subcarriers[0]] == 1
+
+    def test_invalid_evm_shape(self):
+        with pytest.raises(ValueError):
+            SubcarrierSelector().select(np.zeros(47), get_modulation("qpsk"))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SubcarrierSelector(min_count=-1)
+        with pytest.raises(ValueError):
+            SubcarrierSelector(min_count=5, max_count=2)
+        with pytest.raises(ValueError):
+            SubcarrierSelector(detectability_factor=0.0)
+
+
+class TestFeedbackCodec:
+    def test_roundtrip(self):
+        subcarriers = [3, 9, 40]
+        mask = FeedbackCodec.encode(subcarriers)
+        assert mask.shape == (1, 48)
+        assert FeedbackCodec.decode(mask) == subcarriers
+
+    def test_empty_selection(self):
+        assert FeedbackCodec.decode(FeedbackCodec.encode([])) == []
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackCodec.encode([48])

@@ -1,0 +1,118 @@
+"""Unit tests for the silence planner (power controller)."""
+
+import numpy as np
+import pytest
+
+from repro.cos.intervals import IntervalCodec
+from repro.cos.silence import DEFAULT_CONTROL_SUBCARRIERS, SilencePlanner
+
+
+class TestConstruction:
+    def test_default_subcarriers(self):
+        planner = SilencePlanner()
+        assert planner.control_subcarriers == sorted(DEFAULT_CONTROL_SUBCARRIERS)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SilencePlanner([1, 1, 2])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SilencePlanner([48])
+        with pytest.raises(ValueError):
+            SilencePlanner([-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SilencePlanner([])
+
+
+class TestFig1Example:
+    def test_scan_order_matches_figure(self):
+        """Fig. 1(a): with 6 control subcarriers, a silence at (slot 1,
+        subcarrier 4) followed by interval 6 lands at (slot 2, subcarrier 5)."""
+        planner = SilencePlanner(list(range(6)))
+        # position of (slot 0, subcarrier 3) in the stream is 3;
+        # interval 6 -> next position 3 + 7 = 10 -> slot 1, subcarrier 4.
+        slot, sub = planner._position_to_cell(10)
+        assert (slot, sub) == (1, 4)
+
+
+class TestPlanning:
+    def test_plan_recover_roundtrip(self, rng):
+        planner = SilencePlanner(list(range(8, 16)))
+        for _ in range(10):
+            bits = rng.integers(0, 2, 32, dtype=np.uint8)
+            plan = planner.plan(bits, n_symbols=40)
+            assert plan.embedded_bits.size == 32
+            recovered = planner.recover_bits(plan.mask)
+            assert np.array_equal(recovered, bits)
+
+    def test_mask_shape_and_location(self):
+        planner = SilencePlanner([4, 20])
+        plan = planner.plan(np.zeros(4, dtype=np.uint8), n_symbols=10)
+        assert plan.mask.shape == (10, 48)
+        silent_cols = set(np.nonzero(plan.mask)[1].tolist())
+        assert silent_cols <= {4, 20}
+
+    def test_silence_count(self, rng):
+        planner = SilencePlanner(list(range(6)))
+        bits = rng.integers(0, 2, 16, dtype=np.uint8)
+        plan = planner.plan(bits, n_symbols=30)
+        assert plan.n_silences == 5  # start marker + 4 intervals
+        assert plan.mask.sum() == 5
+
+    def test_truncates_to_fit(self):
+        """Bits that do not fit stay unembedded (carried to next packet)."""
+        planner = SilencePlanner([0])
+        bits = np.zeros(400, dtype=np.uint8)
+        bits[3::4] = 1  # each interval = 1 -> 2 positions per group
+        plan = planner.plan(bits, n_symbols=9)
+        assert 0 < plan.embedded_bits.size < 400
+        assert np.array_equal(
+            planner.recover_bits(plan.mask), plan.embedded_bits
+        )
+
+    def test_empty_message(self):
+        planner = SilencePlanner()
+        plan = planner.plan([], n_symbols=10)
+        assert plan.n_silences == 0
+        assert not plan.mask.any()
+
+    def test_non_multiple_of_k_truncated(self):
+        planner = SilencePlanner()
+        plan = planner.plan([1, 0, 1], n_symbols=10)  # < k bits
+        assert plan.embedded_bits.size == 0
+
+    def test_zero_symbols(self):
+        plan = SilencePlanner().plan([1, 0, 1, 0], n_symbols=0)
+        assert plan.n_silences == 0
+
+
+class TestCapacity:
+    def test_stream_length(self):
+        assert SilencePlanner(list(range(6))).stream_length(10) == 60
+
+    def test_worst_vs_expected(self):
+        planner = SilencePlanner(list(range(8)))
+        worst = planner.capacity_bits(30, worst_case=True)
+        expected = planner.capacity_bits(30, worst_case=False)
+        assert worst < expected
+        assert worst % planner.codec.k == 0
+
+    def test_capacity_achievable(self, rng):
+        """A message at the worst-case capacity always fits."""
+        planner = SilencePlanner(list(range(8)))
+        n_bits = planner.capacity_bits(30, worst_case=True)
+        bits = np.ones(n_bits, dtype=np.uint8)  # all intervals maximal
+        plan = planner.plan(bits, n_symbols=30)
+        assert plan.embedded_bits.size == n_bits
+
+
+class TestMaskToPositions:
+    def test_ignores_non_control_subcarriers(self):
+        planner = SilencePlanner([5])
+        mask = np.zeros((4, 48), dtype=bool)
+        mask[0, 5] = True
+        mask[1, 7] = True  # not a control subcarrier
+        assert planner.mask_to_positions(mask) == [0]

@@ -1,0 +1,49 @@
+"""Unit tests for the sounder / NIC SNR models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import TappedDelayLine
+from repro.channel.sounder import actual_snr_db, measured_snr_db, per_subcarrier_snr
+from repro.phy.ofdm import subcarrier_noise_variance
+
+
+class TestPerSubcarrierSnr:
+    def test_flat_channel(self):
+        h = TappedDelayLine.identity().frequency_response()
+        snrs = per_subcarrier_snr(h, 0.1)
+        expected = 1.0 / subcarrier_noise_variance(0.1)
+        assert np.allclose(snrs, expected)
+
+    def test_accepts_48_gain_vector(self):
+        gains = np.ones(48, dtype=complex)
+        assert per_subcarrier_snr(gains, 1.0).shape == (48,)
+
+
+class TestSnrRelations:
+    def test_am_ge_hm_always(self):
+        for seed in range(50):
+            h = TappedDelayLine.for_position("A", seed).frequency_response()
+            assert actual_snr_db(h, 0.05) >= measured_snr_db(h, 0.05) - 1e-9
+
+    def test_equal_on_flat_channel(self):
+        h = TappedDelayLine.identity().frequency_response()
+        assert actual_snr_db(h, 0.05) == pytest.approx(measured_snr_db(h, 0.05))
+
+    def test_db_scaling_with_noise(self):
+        h = TappedDelayLine.for_position("A", 3).frequency_response()
+        a1 = actual_snr_db(h, 0.01)
+        a2 = actual_snr_db(h, 0.1)
+        assert a1 - a2 == pytest.approx(10.0, abs=1e-9)
+        m1 = measured_snr_db(h, 0.01)
+        m2 = measured_snr_db(h, 0.1)
+        assert m1 - m2 == pytest.approx(10.0, abs=1e-9)
+
+    def test_gap_grows_with_selectivity(self):
+        def gap(name, seed):
+            h = TappedDelayLine.for_position(name, seed).frequency_response()
+            return actual_snr_db(h, 0.05) - measured_snr_db(h, 0.05)
+
+        gaps_a = np.median([gap("A", s) for s in range(60)])
+        gaps_c = np.median([gap("C", s) for s in range(60)])
+        assert gaps_a > gaps_c

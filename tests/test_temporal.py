@@ -1,0 +1,89 @@
+"""Unit tests for temporal channel evolution."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import TappedDelayLine
+from repro.channel.temporal import (
+    GaussMarkovEvolution,
+    doppler_for_speed,
+    jakes_correlation,
+)
+
+
+class TestJakes:
+    def test_zero_lag(self):
+        assert jakes_correlation(0.0, 10.0) == pytest.approx(1.0)
+
+    def test_decreases_initially(self):
+        rhos = [jakes_correlation(t, 12.0) for t in (0.001, 0.005, 0.01, 0.02)]
+        assert all(b < a for a, b in zip(rhos, rhos[1:]))
+
+    def test_symmetric_in_tau(self):
+        assert jakes_correlation(-0.01, 12.0) == jakes_correlation(0.01, 12.0)
+
+    def test_doppler_walking_2ghz(self):
+        fd = doppler_for_speed(1.52, 2.412e9)
+        assert 11.0 < fd < 13.5
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            doppler_for_speed(-1.0)
+
+
+class TestGaussMarkov:
+    def test_zero_tau_no_change(self, rng):
+        tdl = TappedDelayLine.from_profile(4, 1.0, rng)
+        taps = tdl.taps.copy()
+        GaussMarkovEvolution(tdl=tdl, rng=rng).advance(0.0)
+        assert np.array_equal(tdl.taps, taps)
+
+    def test_negative_tau_rejected(self, rng):
+        evo = GaussMarkovEvolution(tdl=TappedDelayLine.identity(), rng=rng)
+        with pytest.raises(ValueError):
+            evo.advance(-1.0)
+
+    def test_small_tau_small_change(self, rng):
+        tdl = TappedDelayLine.from_profile(4, 1.0, rng)
+        before = tdl.taps.copy()
+        GaussMarkovEvolution(tdl=tdl, doppler_hz=1.0, rng=rng).advance(1e-3)
+        assert np.linalg.norm(tdl.taps - before) < 0.1 * np.linalg.norm(before)
+
+    def test_average_power_preserved(self):
+        """Tap energy is statistically invariant under evolution."""
+        energies = []
+        for seed in range(60):
+            local = np.random.default_rng(seed)
+            tdl = TappedDelayLine.from_profile(4, 1.0, local)
+            evo = GaussMarkovEvolution(tdl=tdl, doppler_hz=30.0, rng=local)
+            for _ in range(20):
+                evo.advance(0.01)
+            energies.append(np.sum(np.abs(tdl.taps) ** 2))
+        assert np.mean(energies) == pytest.approx(1.0, rel=0.15)
+
+    def test_empirical_correlation_matches_jakes(self):
+        """One-step correlation of a tap ≈ J0(2 pi fd tau)."""
+        tau, fd = 0.01, 12.0
+        before, after = [], []
+        for seed in range(400):
+            local = np.random.default_rng(seed)
+            tdl = TappedDelayLine.from_profile(1, 1.0, local)
+            evo = GaussMarkovEvolution(tdl=tdl, doppler_hz=fd, rng=local)
+            b = tdl.taps[0]
+            evo.advance(tau)
+            before.append(b)
+            after.append(tdl.taps[0])
+        before = np.array(before)
+        after = np.array(after)
+        rho_hat = np.real(
+            np.mean(before * np.conj(after))
+            / np.sqrt(np.mean(np.abs(before) ** 2) * np.mean(np.abs(after) ** 2))
+        )
+        assert rho_hat == pytest.approx(jakes_correlation(tau, fd), abs=0.08)
+
+    def test_snapshot_is_independent_copy(self, rng):
+        tdl = TappedDelayLine.from_profile(3, 1.0, rng)
+        evo = GaussMarkovEvolution(tdl=tdl, rng=rng)
+        snap = evo.snapshot()
+        evo.advance(0.1)
+        assert not np.array_equal(snap.taps, tdl.taps)

@@ -1,0 +1,105 @@
+"""Unit tests for channel trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import TappedDelayLine
+from repro.channel.temporal import GaussMarkovEvolution
+from repro.channel.traces import ChannelTrace, ReplayChannelSequence, TraceRecorder
+
+
+class TestRecorder:
+    def test_record_and_finish(self, rng):
+        tdl = TappedDelayLine.from_profile(3, 1.0, rng)
+        recorder = TraceRecorder()
+        evo = GaussMarkovEvolution(tdl=tdl, rng=rng)
+        recorder.snapshot(tdl)
+        for _ in range(4):
+            evo.advance(0.01)
+            recorder.snapshot(tdl, elapsed_s=0.01)
+        trace = recorder.finish()
+        assert trace.n_steps == 5
+        assert trace.timestamps_s[-1] == pytest.approx(0.04)
+
+    def test_snapshots_are_copies(self, rng):
+        tdl = TappedDelayLine.from_profile(2, 1.0, rng)
+        recorder = TraceRecorder()
+        recorder.snapshot(tdl)
+        tdl.taps[:] = 0.0
+        trace = recorder.finish()
+        assert not np.allclose(trace.taps[0], 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().finish()
+
+    def test_negative_elapsed_rejected(self, rng):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            recorder.snapshot(TappedDelayLine.identity(), elapsed_s=-1.0)
+
+
+class TestTraceValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ChannelTrace(taps=np.zeros((3, 2), dtype=complex), timestamps_s=np.zeros(2))
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTrace(
+                taps=np.zeros((2, 2), dtype=complex),
+                timestamps_s=np.array([1.0, 0.5]),
+            )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, rng):
+        taps = rng.standard_normal((5, 3)) + 1j * rng.standard_normal((5, 3))
+        trace = ChannelTrace(taps=taps, timestamps_s=np.arange(5) * 0.01)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = ChannelTrace.load(path)
+        assert np.allclose(loaded.taps, taps)
+        assert np.allclose(loaded.timestamps_s, trace.timestamps_s)
+
+
+class TestReplay:
+    def test_replay_order_and_exhaustion(self, rng):
+        taps = rng.standard_normal((3, 2)) + 0j
+        trace = ChannelTrace(taps=taps, timestamps_s=np.arange(3) * 1.0)
+        replay = ReplayChannelSequence(trace)
+        seen = [replay.next_channel().taps for _ in range(3)]
+        assert all(np.allclose(s, t) for s, t in zip(seen, taps))
+        assert replay.exhausted
+        with pytest.raises(StopIteration):
+            replay.next_channel()
+
+    def test_rewind(self, rng):
+        trace = ChannelTrace(
+            taps=rng.standard_normal((2, 2)) + 0j, timestamps_s=np.arange(2) * 1.0
+        )
+        replay = ReplayChannelSequence(trace)
+        first = replay.next_channel().taps
+        replay.rewind()
+        assert np.allclose(replay.next_channel().taps, first)
+
+    def test_identical_experiments_on_replay(self, tmp_path, rng):
+        """Two experiment runs over the same trace see identical channels."""
+        tdl = TappedDelayLine.from_profile(3, 0.8, rng)
+        recorder = TraceRecorder()
+        evo = GaussMarkovEvolution(tdl=tdl, rng=rng)
+        for _ in range(6):
+            recorder.snapshot(tdl, elapsed_s=0.005)
+            evo.advance(0.005)
+        trace = recorder.finish()
+        path = tmp_path / "t.npz"
+        trace.save(path)
+
+        def frequency_fingerprint():
+            replay = ReplayChannelSequence(ChannelTrace.load(path))
+            return [
+                np.abs(replay.next_channel().frequency_response()).sum()
+                for _ in range(6)
+            ]
+
+        assert frequency_fingerprint() == frequency_fingerprint()

@@ -1,0 +1,83 @@
+"""Dedicated transmitter-chain tests."""
+
+import numpy as np
+import pytest
+
+from repro.phy import RATE_TABLE, Transmitter, build_mpdu
+from repro.phy.params import SYMBOL_SAMPLES
+from repro.phy.preamble import PREAMBLE_SAMPLES
+
+
+class TestWaveformStructure:
+    def test_length_formula(self, psdu):
+        for mbps, rate in RATE_TABLE.items():
+            frame = Transmitter().transmit(psdu, rate)
+            expected = PREAMBLE_SAMPLES + (1 + frame.n_data_symbols) * SYMBOL_SAMPLES
+            assert frame.waveform.size == expected, mbps
+
+    def test_n_data_symbols_matches_rate(self, psdu):
+        frame = Transmitter().transmit(psdu, RATE_TABLE[24])
+        assert frame.n_data_symbols == RATE_TABLE[24].n_symbols_for(len(psdu))
+
+    def test_preamble_prefix_constant(self, psdu):
+        from repro.phy.preamble import generate_preamble
+
+        frame = Transmitter().transmit(psdu, RATE_TABLE[6])
+        assert np.allclose(frame.waveform[:PREAMBLE_SAMPLES], generate_preamble())
+
+    def test_coded_bits_length(self, psdu):
+        for rate in RATE_TABLE.values():
+            frame = Transmitter().transmit(psdu, rate)
+            assert frame.coded_bits.size == frame.n_data_symbols * rate.n_cbps
+
+    def test_data_symbols_unit_energy(self, psdu):
+        frame = Transmitter().transmit(psdu, RATE_TABLE[54])
+        power = np.mean(np.abs(frame.data_symbols) ** 2)
+        assert power == pytest.approx(1.0, rel=0.05)
+
+
+class TestValidation:
+    def test_empty_psdu_rejected(self):
+        with pytest.raises(ValueError):
+            Transmitter().transmit(b"", RATE_TABLE[6])
+
+    def test_wrong_mask_shape_rejected(self, psdu):
+        mask = np.zeros((1, 48), dtype=bool)
+        with pytest.raises(ValueError):
+            Transmitter().transmit(psdu, RATE_TABLE[24], silence_mask=mask)
+
+    def test_default_mask_all_false(self, psdu):
+        frame = Transmitter().transmit(psdu, RATE_TABLE[24])
+        assert not frame.silence_mask.any()
+
+
+class TestSilenceInsertion:
+    def test_silence_reduces_waveform_energy(self, psdu):
+        tx = Transmitter()
+        rate = RATE_TABLE[24]
+        clean = tx.transmit(psdu, rate)
+        mask = np.zeros_like(clean.silence_mask)
+        mask[:, ::4] = True  # silence a quarter of the data cells
+        silenced = tx.transmit(psdu, rate, silence_mask=mask)
+        e_clean = np.sum(np.abs(clean.waveform[PREAMBLE_SAMPLES:]) ** 2)
+        e_sil = np.sum(np.abs(silenced.waveform[PREAMBLE_SAMPLES:]) ** 2)
+        assert e_sil < e_clean * 0.9
+
+    def test_data_symbols_keep_ideal_values(self, psdu):
+        """TxFrame.data_symbols is the pre-silence ground truth."""
+        tx = Transmitter()
+        rate = RATE_TABLE[24]
+        mask = np.zeros((rate.n_symbols_for(len(psdu)), 48), dtype=bool)
+        mask[0, 0] = True
+        frame = tx.transmit(psdu, rate, silence_mask=mask)
+        assert abs(frame.data_symbols[0, 0]) > 0.1  # not zeroed in the record
+
+    def test_deterministic(self, psdu):
+        a = Transmitter().transmit(psdu, RATE_TABLE[36])
+        b = Transmitter().transmit(psdu, RATE_TABLE[36])
+        assert np.array_equal(a.waveform, b.waveform)
+
+    def test_scrambler_state_changes_waveform(self, psdu):
+        a = Transmitter(scrambler_state=0b1011101).transmit(psdu, RATE_TABLE[12])
+        b = Transmitter(scrambler_state=0b0100110).transmit(psdu, RATE_TABLE[12])
+        assert not np.allclose(a.waveform, b.waveform)

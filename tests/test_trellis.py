@@ -1,0 +1,63 @@
+"""Unit tests for the Viterbi trellis tables."""
+
+import numpy as np
+
+from repro.phy.convcode import conv_encode
+from repro.phy.trellis import N_STATES, Trellis, shared_trellis
+
+
+class TestTrellisConsistency:
+    def test_shared_singleton(self):
+        assert shared_trellis() is shared_trellis()
+
+    def test_shapes(self):
+        t = shared_trellis()
+        assert t.prev_state.shape == (N_STATES, 2)
+        assert t.branch_pair.shape == (N_STATES, 2)
+        assert t.input_bit.shape == (N_STATES,)
+        assert t.next_state.shape == (N_STATES, 2)
+
+    def test_forward_reverse_agree(self):
+        t = shared_trellis()
+        for state in range(N_STATES):
+            for bit in (0, 1):
+                ns = t.next_state[state, bit]
+                # The transition state->ns must appear among ns's reverse edges.
+                found = False
+                for x in (0, 1):
+                    if t.prev_state[ns, x] == state:
+                        assert t.branch_pair[ns, x] == t.output_pair[state, bit]
+                        found = True
+                assert found
+
+    def test_input_bit_is_msb(self):
+        t = shared_trellis()
+        for state in range(N_STATES):
+            for bit in (0, 1):
+                ns = t.next_state[state, bit]
+                assert t.input_bit[ns] == bit
+
+    def test_each_state_has_two_distinct_predecessors(self):
+        t = shared_trellis()
+        for ns in range(N_STATES):
+            assert t.prev_state[ns, 0] != t.prev_state[ns, 1]
+
+    def test_outputs_match_encoder(self, rng):
+        """Walking the trellis forward must reproduce conv_encode."""
+        t = shared_trellis()
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        expected = conv_encode(bits)
+        state = 0
+        out = []
+        for b in bits:
+            pair = t.output_pair[state, b]
+            out.extend([(pair >> 1) & 1, pair & 1])
+            state = int(t.next_state[state, b])
+        assert np.array_equal(np.array(out, dtype=np.uint8), expected)
+
+    def test_tail_zeros_reach_state_zero(self):
+        t = shared_trellis()
+        state = 37
+        for _ in range(6):
+            state = int(t.next_state[state, 0])
+        assert state == 0

@@ -1,0 +1,53 @@
+"""Tests for the ASCII grid renderer."""
+
+import numpy as np
+import pytest
+
+from repro.cos.silence import SilencePlanner
+from repro.cos.visualize import render_silence_grid
+
+
+class TestRenderSilenceGrid:
+    def test_marks_silences(self):
+        mask = np.zeros((5, 48), dtype=bool)
+        mask[2, 10] = True
+        art = render_silence_grid(mask)
+        assert "█" in art
+        assert "  10 │" in art
+
+    def test_counts_silences(self, rng):
+        planner = SilencePlanner(list(range(8, 12)))
+        plan = planner.plan(rng.integers(0, 2, 16, dtype=np.uint8), 20)
+        art = render_silence_grid(plan.mask, planner.control_subcarriers)
+        assert f"({plan.n_silences} silences)" in art
+
+    def test_truncation_marker(self):
+        mask = np.zeros((100, 48), dtype=bool)
+        mask[:, 5] = True
+        art = render_silence_grid(mask, max_symbols=10)
+        assert "(truncated)" in art
+
+    def test_empty_mask(self):
+        art = render_silence_grid(np.zeros((5, 48), dtype=bool))
+        assert "no silences" in art
+
+    def test_all_rows_mode(self):
+        mask = np.zeros((3, 48), dtype=bool)
+        mask[0, 0] = True
+        art = render_silence_grid(mask, only_control_rows=False)
+        assert art.count("│") >= 96  # two bars per row, 48 rows
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_silence_grid(np.zeros((2, 47), dtype=bool))
+
+    def test_renders_paper_fig1_shape(self):
+        """The Fig. 1(a) example: 6 subcarriers, silences at interval 6."""
+        from repro.cos.intervals import IntervalCodec
+
+        planner = SilencePlanner(list(range(6)), IntervalCodec())
+        plan = planner.plan([0, 1, 1, 0], n_symbols=4)
+        art = render_silence_grid(plan.mask, list(range(6)))
+        # grid glyphs plus the one in the legend line
+        assert art.count("█") == plan.n_silences + 1
+        assert plan.n_silences == 2

@@ -1,0 +1,110 @@
+"""Unit tests for the soft-decision erasure-capable Viterbi decoder."""
+
+import numpy as np
+import pytest
+
+from repro.phy.convcode import conv_encode
+from repro.phy.viterbi import ViterbiDecoder, hard_bits_to_llrs
+
+
+def _encode_terminated(info, rng=None):
+    bits = np.concatenate([info, np.zeros(6, dtype=np.uint8)])
+    return conv_encode(bits), bits
+
+
+class TestCleanDecoding:
+    def test_decodes_clean_stream(self, rng):
+        info = rng.integers(0, 2, 120, dtype=np.uint8)
+        coded, padded = _encode_terminated(info)
+        decoded = ViterbiDecoder().decode(hard_bits_to_llrs(coded))
+        assert np.array_equal(decoded, padded)
+
+    def test_empty_stream(self):
+        assert ViterbiDecoder().decode(np.zeros(0)).size == 0
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            ViterbiDecoder().decode(np.zeros(3))
+
+    def test_decode_hard_convenience(self, rng):
+        info = rng.integers(0, 2, 50, dtype=np.uint8)
+        coded, padded = _encode_terminated(info)
+        assert np.array_equal(ViterbiDecoder().decode_hard(coded), padded)
+
+    def test_unterminated_mode(self, rng):
+        info = rng.integers(0, 2, 120, dtype=np.uint8)
+        coded = conv_encode(info)  # no tail
+        decoded = ViterbiDecoder(terminated=False).decode(hard_bits_to_llrs(coded))
+        # All but the last few constraint-length bits must be exact.
+        assert np.array_equal(decoded[:-8], info[:-8])
+
+
+class TestErrorCorrection:
+    def test_corrects_scattered_bit_errors(self, rng):
+        info = rng.integers(0, 2, 200, dtype=np.uint8)
+        coded, padded = _encode_terminated(info)
+        corrupted = coded.copy()
+        # Flip well-separated coded bits (within free-distance capability).
+        for pos in range(10, 400, 45):
+            corrupted[pos] ^= 1
+        decoded = ViterbiDecoder().decode(hard_bits_to_llrs(corrupted))
+        assert np.array_equal(decoded, padded)
+
+    def test_soft_beats_wrong_confidence(self, rng):
+        """Errors carrying *low* |LLR| must not damage the path decision."""
+        info = rng.integers(0, 2, 200, dtype=np.uint8)
+        coded, padded = _encode_terminated(info)
+        llrs = hard_bits_to_llrs(coded)
+        # Corrupt 15% of bits but mark them nearly-erased.
+        idx = rng.choice(llrs.size, size=llrs.size * 15 // 100, replace=False)
+        llrs[idx] = -0.01 * llrs[idx]
+        decoded = ViterbiDecoder().decode(llrs)
+        assert np.array_equal(decoded, padded)
+
+
+class TestErasures:
+    def test_tolerates_many_erasures(self, rng):
+        """Zero-LLR positions carry no information but do not mislead."""
+        info = rng.integers(0, 2, 300, dtype=np.uint8)
+        coded, padded = _encode_terminated(info)
+        llrs = hard_bits_to_llrs(coded)
+        idx = rng.choice(llrs.size, size=llrs.size // 4, replace=False)
+        llrs[idx] = 0.0  # 25% erasures
+        decoded = ViterbiDecoder().decode(llrs)
+        assert np.array_equal(decoded, padded)
+
+    def test_erasures_strictly_better_than_errors(self, rng):
+        """The §III-E claim: erasing beats inverting, statistically."""
+        err_fail = 0
+        ers_fail = 0
+        trials = 20
+        for t in range(trials):
+            local = np.random.default_rng(t)
+            info = local.integers(0, 2, 150, dtype=np.uint8)
+            coded, padded = _encode_terminated(info)
+            llrs = hard_bits_to_llrs(coded)
+            idx = local.choice(llrs.size, size=llrs.size * 30 // 100, replace=False)
+            as_errors = llrs.copy()
+            as_errors[idx] *= -1.0  # confidently wrong
+            as_erasures = llrs.copy()
+            as_erasures[idx] = 0.0
+            if not np.array_equal(ViterbiDecoder().decode(as_errors), padded):
+                err_fail += 1
+            if not np.array_equal(ViterbiDecoder().decode(as_erasures), padded):
+                ers_fail += 1
+        assert ers_fail < err_fail
+
+    def test_all_erased_decodes_to_something(self):
+        decoded = ViterbiDecoder().decode(np.zeros(100))
+        assert decoded.size == 50
+        assert set(np.unique(decoded)) <= {0, 1}
+
+
+class TestHardBitsToLlrs:
+    def test_signs(self):
+        llrs = hard_bits_to_llrs(np.array([0, 1, 0]))
+        assert llrs.tolist() == [1.0, -1.0, 1.0]
+
+    def test_confidence_scaling(self):
+        llrs = hard_bits_to_llrs(np.array([0, 1]), confidence=2.5)
+        assert llrs.tolist() == [2.5, -2.5]

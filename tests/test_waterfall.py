@@ -1,0 +1,39 @@
+"""Tests for the PHY waterfall validation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import waterfall
+
+
+@pytest.fixture(scope="module")
+def result():
+    return waterfall.run(
+        snrs_db=np.array([0.0, 4.0, 8.0, 14.0, 22.0]),
+        n_packets=6,
+        rates_mbps=(6, 24, 54),
+    )
+
+
+class TestWaterfall:
+    def test_per_bounded(self, result):
+        for mbps, per in result.per.items():
+            assert np.all((0.0 <= per) & (per <= 1.0))
+
+    def test_monotone(self, result):
+        for mbps in result.per:
+            assert result.monotone_non_increasing(mbps, slack=0.2)
+
+    def test_rate_ordering(self, result):
+        assert result.snr_for_per(6) <= result.snr_for_per(54)
+
+    def test_low_rate_works_somewhere(self, result):
+        assert result.snr_for_per(6, target=0.2) < float("inf")
+
+    def test_top_rate_fails_at_low_snr(self, result):
+        assert result.per[54][0] > 0.5
+
+    def test_print(self, result, capsys):
+        waterfall.print_result(result)
+        out = capsys.readouterr().out
+        assert "waterfall" in out
