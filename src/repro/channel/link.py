@@ -20,6 +20,7 @@ from repro.channel.interference import PulseInterferer
 from repro.channel.multipath import POSITION_PROFILES, TappedDelayLine
 from repro.channel.sounder import actual_snr_db, measured_snr_db, per_subcarrier_snr
 from repro.channel.temporal import GaussMarkovEvolution, doppler_for_speed
+from repro.obs.trace import span
 from repro.phy.ofdm import DATA_BINS, subcarrier_noise_variance
 from repro.utils.rng import RngLike, make_rng
 
@@ -121,18 +122,22 @@ class IndoorChannel:
 
     def transmit(self, waveform: np.ndarray) -> np.ndarray:
         """Propagate one PPDU: multipath, CFO rotation, noise, interference."""
-        out = self.tdl.apply(waveform)
-        if self.cfo_hz:
-            n = np.arange(out.size)
-            out = out * np.exp(2j * np.pi * self.cfo_hz * n / 20e6)
-        out = add_awgn(out, self.noise_var, self.rng)
-        if self.interferer is not None:
-            out = self.interferer.apply(out)
-        return out
+        with span("channel.transmit") as sp:
+            sp.set(n_samples=int(np.asarray(waveform).size))
+            out = self.tdl.apply(waveform)
+            if self.cfo_hz:
+                n = np.arange(out.size)
+                out = out * np.exp(2j * np.pi * self.cfo_hz * n / 20e6)
+            out = add_awgn(out, self.noise_var, self.rng)
+            if self.interferer is not None:
+                out = self.interferer.apply(out)
+            return out
 
     def evolve(self, tau_s: float) -> None:
         """Advance the channel by ``tau_s`` seconds of walking-speed motion."""
-        self._evolution.advance(tau_s)
+        with span("channel.evolve") as sp:
+            sp.set(tau_s=tau_s)
+            self._evolution.advance(tau_s)
 
     # ------------------------------------------------------------------
     # Introspection (ground truth for experiments)

@@ -8,22 +8,44 @@ Commands
 ``experiments [fig2 fig3 ...]``
     Run the figure harnesses (all by default) and print their tables.
 ``link --snr DB --position P --packets N``
-    Run a closed-loop CoS session and print its statistics.
+    Run a closed-loop CoS session and print its statistics.  With
+    ``--trace-out trace.jsonl`` every stage span and per-exchange flight
+    record is written as JSONL; with ``--metrics-out metrics.prom`` the
+    metrics registry is exported (Prometheus text, or JSON when the path
+    ends in ``.json``).
+``obs summarize trace.jsonl``
+    Analyse a recorded trace offline: per-stage latency percentiles,
+    exchange span coverage, and the failure-cause breakdown.
+
+Global flags: ``--log-level debug|info|warning|error`` and ``--quiet``
+control the ``repro.*`` logger hierarchy (diagnostics go to stderr;
+result tables always go to stdout).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "setup_logging"]
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CoS (Communication through Symbol Silence) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--log-level", choices=_LOG_LEVELS, default="info",
+        help="verbosity of the repro.* logger hierarchy (default: info)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress diagnostics (equivalent to --log-level error)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -39,12 +61,39 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--payload", type=int, default=512, help="payload bytes")
     link.add_argument("--seed", type=int, default=5)
     link.add_argument("--predictor", action="store_true", help="enable EVM smoothing")
+    link.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="write span + flight-record JSONL trace to PATH")
+    link.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="export the metrics registry (Prometheus text; "
+                           "JSON if PATH ends with .json)")
+
+    obs_p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    summ = obs_sub.add_parser(
+        "summarize", help="per-stage latency + failure causes from a trace"
+    )
+    summ.add_argument("trace", help="path to a trace.jsonl produced by --trace-out")
+    summ.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON summary")
 
     report = sub.add_parser("report", help="run experiments and write a markdown report")
     report.add_argument("path", nargs="?", default="RESULTS.md")
     report.add_argument("--stages", nargs="*", default=None,
                         help="subset, e.g. fig2 waterfall")
     return parser
+
+
+def setup_logging(level: str = "info", quiet: bool = False) -> None:
+    """Configure the ``repro`` logger hierarchy (idempotent)."""
+    logger = logging.getLogger("repro")
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(logging.ERROR if quiet else getattr(logging, level.upper()))
 
 
 def _cmd_info() -> int:
@@ -88,14 +137,23 @@ def _cmd_experiments(figures: List[str]) -> int:
 
 
 def _cmd_link(args) -> int:
+    import repro.obs as obs
     from repro.channel import IndoorChannel
     from repro.cos import CosLink, EvmPredictor
+
+    log = logging.getLogger("repro.cli")
+    session = obs.configure(trace_out=args.trace_out) if args.trace_out else None
 
     channel = IndoorChannel.position(args.position, snr_db=args.snr, seed=args.seed)
     link = CosLink(channel=channel)
     if args.predictor:
         link.rx.predictor = EvmPredictor()
-    stats = link.run(n_packets=args.packets, payload=bytes(args.payload))
+    try:
+        stats = link.run(n_packets=args.packets, payload=bytes(args.payload))
+    finally:
+        if session is not None:
+            session.close()
+            log.info("trace written to %s", args.trace_out)
     print(f"position {args.position} @ measured {args.snr} dB "
           f"(actual {channel.actual_snr_db:.1f} dB), {args.packets} packets")
     print(f"  data PRR:                 {stats.prr * 100:6.2f} %")
@@ -103,17 +161,52 @@ def _cmd_link(args) -> int:
     print(f"  control (per message):    {stats.message_accuracy * 100:6.2f} %")
     print(f"  control bits delivered:   {stats.control_bits_delivered}")
     print(f"  silence symbols inserted: {stats.total_silences}")
+
+    if args.metrics_out:
+        registry = obs.get_registry()
+        if args.metrics_out.endswith(".json"):
+            text = registry.to_json()
+        else:
+            text = registry.to_prometheus()
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        log.info("metrics written to %s", args.metrics_out)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    import repro.obs as obs
+
+    summary = obs.summarize_trace(args.trace)
+    if args.json:
+        import dataclasses
+        import json
+
+        print(json.dumps({
+            "stages": [dataclasses.asdict(s) for s in summary.stages],
+            "causes": summary.causes,
+            "n_spans": summary.n_spans,
+            "n_flights": summary.n_flights,
+            "n_events": summary.n_events,
+            "exchange_total_s": summary.exchange_total_s,
+            "exchange_coverage": summary.exchange_coverage,
+        }, indent=2))
+    else:
+        print(obs.format_summary(summary))
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level, quiet=args.quiet)
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiments":
         return _cmd_experiments(args.figures)
     if args.command == "link":
         return _cmd_link(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "report":
         from repro.analysis.report import write_report
 

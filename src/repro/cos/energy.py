@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import span
 from repro.phy.params import N_DATA_SUBCARRIERS
 
 __all__ = ["DetectionReport", "EnergyDetector"]
@@ -130,15 +131,18 @@ class EnergyDetector:
                 thresholds = thresholds[control]
         else:
             thresholds = float(threshold)
-        energies = np.abs(grid[:, control]) ** 2
-        detected = energies < thresholds
+        with span("cos.energy.detect") as sp:
+            energies = np.abs(grid[:, control]) ** 2
+            detected = energies < thresholds
 
-        mask = np.zeros(grid.shape, dtype=bool)
-        mask[:, control] = detected
-        scalar_threshold = (
-            float(np.mean(thresholds)) if isinstance(thresholds, np.ndarray)
-            else float(thresholds)
-        )
+            mask = np.zeros(grid.shape, dtype=bool)
+            mask[:, control] = detected
+            scalar_threshold = (
+                float(np.mean(thresholds)) if isinstance(thresholds, np.ndarray)
+                else float(thresholds)
+            )
+            sp.set(n_silences=int(np.count_nonzero(detected)),
+                   n_control=int(control.size))
         return DetectionReport(mask=mask, threshold=scalar_threshold, energies=energies)
 
     @staticmethod

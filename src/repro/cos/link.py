@@ -27,6 +27,9 @@ import numpy as np
 
 from repro.channel.link import IndoorChannel
 from repro.cos.energy import DetectionReport, EnergyDetector
+from repro.obs.flight import current_recorder
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.cos.evm import per_subcarrier_evm
 from repro.cos.intervals import IntervalCodec
 from repro.cos.predictor import EvmPredictor
@@ -120,12 +123,29 @@ class CosTransmitter:
         n_symbols = rate.n_symbols_for(len(psdu))
         allocation = self.controller.allocation(measured_snr_db, n_symbols)
 
-        planner = SilencePlanner(self.control_subcarriers, self.codec)
-        offered = np.asarray(self._queue[: allocation.max_control_bits], dtype=np.uint8)
-        plan = planner.plan(offered, n_symbols)
-        del self._queue[: plan.embedded_bits.size]
+        with span("cos.tx.plan") as sp:
+            planner = SilencePlanner(self.control_subcarriers, self.codec)
+            offered = np.asarray(
+                self._queue[: allocation.max_control_bits], dtype=np.uint8
+            )
+            plan = planner.plan(offered, n_symbols)
+            del self._queue[: plan.embedded_bits.size]
+            sp.set(n_silences=plan.n_silences,
+                   embedded_bits=int(plan.embedded_bits.size))
 
         frame = self._phy.transmit(psdu, rate, silence_mask=plan.mask)
+
+        registry = get_registry()
+        registry.counter(
+            "repro_tx_packets_total", help="CoS PPDUs built."
+        ).inc()
+        registry.counter(
+            "repro_tx_silences_total", help="Silence symbols inserted."
+        ).inc(plan.n_silences)
+        registry.counter(
+            "repro_tx_control_bits_total", help="Control bits embedded."
+        ).inc(int(plan.embedded_bits.size))
+
         return CosTxRecord(
             frame=frame,
             plan=plan,
@@ -220,53 +240,58 @@ class CosReceiver:
         )
         phy_result = self._phy.decode(obs, erasure_mask=detection.mask)
 
-        planner = SilencePlanner(self.control_subcarriers, self.codec)
-        control_error: Optional[str] = None
-        # Guard: a control subcarrier faded so deep that its *active*
-        # symbols sit near the detection threshold cannot host silence
-        # signalling — bits "recovered" through it would be garbage.
-        # Declare the control message lost; the detected mask still
-        # serves as erasure input for data decoding (the safe direction).
-        floor = self.detector.threshold_for(obs.noise_var)
-        undetectable = [
-            c
-            for c in self.control_subcarriers
-            if modulation.min_symbol_energy * h_gains[c] < 2.0 * floor
-        ]
-        if undetectable:
-            control_bits = np.zeros(0, dtype=np.uint8)
-            control_error = (
-                f"control subcarriers {undetectable} too faded for "
-                "silence detection"
-            )
-        else:
-            try:
-                control_bits = planner.recover_bits(detection.mask)
-            except ValueError as exc:
+        with span("cos.rx.recover") as sp:
+            planner = SilencePlanner(self.control_subcarriers, self.codec)
+            control_error: Optional[str] = None
+            # Guard: a control subcarrier faded so deep that its *active*
+            # symbols sit near the detection threshold cannot host silence
+            # signalling — bits "recovered" through it would be garbage.
+            # Declare the control message lost; the detected mask still
+            # serves as erasure input for data decoding (the safe direction).
+            floor = self.detector.threshold_for(obs.noise_var)
+            undetectable = [
+                c
+                for c in self.control_subcarriers
+                if modulation.min_symbol_energy * h_gains[c] < 2.0 * floor
+            ]
+            if undetectable:
                 control_bits = np.zeros(0, dtype=np.uint8)
-                control_error = str(exc)
+                control_error = (
+                    f"control subcarriers {undetectable} too faded for "
+                    "silence detection"
+                )
+            else:
+                try:
+                    control_bits = planner.recover_bits(detection.mask)
+                except ValueError as exc:
+                    control_bits = np.zeros(0, dtype=np.uint8)
+                    control_error = str(exc)
+            sp.set(recovered_bits=int(control_bits.size),
+                   error=control_error)
 
         evms: Optional[np.ndarray] = None
         selection: Optional[SelectionResult] = None
         if phy_result.ok and phy_result.decoded is not None:
-            rate = obs.signal.rate
-            reference = reconstruct_reference_symbols(
-                phy_result.decoded.scrambled_bits, rate
-            )
-            evms = per_subcarrier_evm(
-                obs.eq_data_grid[: reference.shape[0]],
-                reference,
-                get_modulation(rate.modulation),
-                exclude_mask=detection.mask[: reference.shape[0]],
-            )
-            selection_evms = (
-                self.predictor.update(evms) if self.predictor is not None else evms
-            )
-            selection = self.selector.select(
-                selection_evms,
-                get_modulation(rate.modulation),
-                target_count=next_target_count,
-            )
+            with span("cos.rx.evm") as sp:
+                rate = obs.signal.rate
+                reference = reconstruct_reference_symbols(
+                    phy_result.decoded.scrambled_bits, rate
+                )
+                evms = per_subcarrier_evm(
+                    obs.eq_data_grid[: reference.shape[0]],
+                    reference,
+                    get_modulation(rate.modulation),
+                    exclude_mask=detection.mask[: reference.shape[0]],
+                )
+                selection_evms = (
+                    self.predictor.update(evms) if self.predictor is not None else evms
+                )
+                selection = self.selector.select(
+                    selection_evms,
+                    get_modulation(rate.modulation),
+                    target_count=next_target_count,
+                )
+                sp.set(n_selected=len(selection.subcarriers))
 
         return CosRxResult(
             phy=phy_result,
@@ -405,61 +430,144 @@ class CosLink:
         self.rx = CosReceiver(codec=self.codec)
 
     def exchange(self, payload: bytes, control_bits: Sequence[int]) -> ExchangeOutcome:
-        """Send one data packet carrying ``control_bits`` over the channel."""
-        measured = self.channel.measured_snr_db
-        actual = self.channel.actual_snr_db
-        rate = self.adapter.select(measured)
+        """Send one data packet carrying ``control_bits`` over the channel.
 
-        self.tx.enqueue_control(control_bits)
-        record = self.tx.build(payload, rate, measured)
-        rx_waveform = self.channel.transmit(record.frame.waveform)
+        The exchange is fully instrumented: every stage runs under a
+        :func:`repro.obs.trace.span` (root span ``cos.exchange``), and
+        when a flight recorder is configured the complete decision chain
+        is emitted as one :class:`repro.obs.flight.FlightRecord`.
+        """
+        with span("cos.exchange") as root:
+            with span("cos.rate_select"):
+                measured = self.channel.measured_snr_db
+                actual = self.channel.actual_snr_db
+                rate = self.adapter.select(measured)
+            root.set(rate_mbps=rate.mbps, measured_snr_db=measured)
 
-        next_alloc = self.controller.allocation(
-            measured, record.frame.n_data_symbols
-        )
-        result = self.rx.receive(
-            rx_waveform, next_target_count=next_alloc.n_control_subcarriers
-        )
+            with span("cos.tx.build"):
+                self.tx.enqueue_control(control_bits)
+                record = self.tx.build(payload, rate, measured)
+            # channel.transmit carries its own span (direct child here).
+            rx_waveform = self.channel.transmit(record.frame.waveform)
 
-        # Detection accuracy vs ground truth (available in simulation).
-        # A mis-decoded SIGNAL field can leave the detection grid with a
-        # different symbol count than what was sent; every silence in the
-        # unobserved region counts as missed.
-        if (
-            result.detection is not None
-            and result.detection.mask.shape == record.frame.silence_mask.shape
-        ):
-            fp, fn = EnergyDetector.confusion(
-                result.detection.mask,
-                record.frame.silence_mask,
-                record.control_subcarriers,
+            next_alloc = self.controller.allocation(
+                measured, record.frame.n_data_symbols
             )
+            with span("cos.rx.receive"):
+                result = self.rx.receive(
+                    rx_waveform, next_target_count=next_alloc.n_control_subcarriers
+                )
+
+            with span("cos.feedback"):
+                # Detection accuracy vs ground truth (available in
+                # simulation).  A mis-decoded SIGNAL field can leave the
+                # detection grid with a different symbol count than what
+                # was sent; every silence in the unobserved region counts
+                # as missed.
+                if (
+                    result.detection is not None
+                    and result.detection.mask.shape == record.frame.silence_mask.shape
+                ):
+                    fp, fn = EnergyDetector.confusion(
+                        result.detection.mask,
+                        record.frame.silence_mask,
+                        record.control_subcarriers,
+                    )
+                else:
+                    fp, fn = 0.0, (1.0 if record.plan.n_silences else 0.0)
+
+                # Closed-loop bookkeeping: rate fallback and subcarrier
+                # feedback only flow when the data packet (and hence the
+                # ACK) succeeded.
+                fallback_before = self.controller.in_fallback
+                self.controller.on_data_result(result.data_ok)
+                fallback_after = self.controller.in_fallback
+                if result.data_ok and result.selection is not None:
+                    self.tx.update_control_subcarriers(result.selection.subcarriers)
+                    self.rx.update_control_subcarriers(result.selection.subcarriers)
+
+                if self.rx.predictor is not None:
+                    self.rx.predictor.advance(self.inter_packet_gap_s)
+            self.channel.evolve(self.inter_packet_gap_s)
+
+            outcome = ExchangeOutcome(
+                data_ok=result.data_ok,
+                control_sent=record.plan.embedded_bits,
+                control_received=result.control_bits,
+                rate_mbps=rate.mbps,
+                measured_snr_db=measured,
+                actual_snr_db=actual,
+                n_silences=record.plan.n_silences,
+                detection_fp=fp,
+                detection_fn=fn,
+                control_error=result.control_error,
+                evms=result.evms,
+            )
+            with span("cos.flight"):
+                self._account(outcome, record, result,
+                              fallback_before, fallback_after)
+            return outcome
+
+    def _account(
+        self,
+        outcome: ExchangeOutcome,
+        record: CosTxRecord,
+        result: CosRxResult,
+        fallback_before: bool,
+        fallback_after: bool,
+    ) -> None:
+        """Update the metrics registry and emit the flight record."""
+        registry = get_registry()
+        registry.counter(
+            "repro_exchanges_total", help="Closed-loop CoS exchanges."
+        ).inc()
+        if not outcome.data_ok:
+            registry.counter(
+                "repro_data_crc_fail_total", help="Exchanges whose data CRC failed."
+            ).inc()
+        if outcome.control_ok:
+            registry.counter(
+                "repro_control_bits_delivered_total",
+                help="Control bits recovered exactly.",
+            ).inc(int(outcome.control_sent.size))
+
+        recorder = current_recorder()
+        if recorder is None:
+            return
+        if fallback_after != fallback_before:
+            transition: Optional[str] = "enter" if fallback_after else "exit"
         else:
-            fp, fn = 0.0, (1.0 if record.plan.n_silences else 0.0)
-
-        # Closed-loop bookkeeping: rate fallback and subcarrier feedback
-        # only flow when the data packet (and hence the ACK) succeeded.
-        self.controller.on_data_result(result.data_ok)
-        if result.data_ok and result.selection is not None:
-            self.tx.update_control_subcarriers(result.selection.subcarriers)
-            self.rx.update_control_subcarriers(result.selection.subcarriers)
-
-        if self.rx.predictor is not None:
-            self.rx.predictor.advance(self.inter_packet_gap_s)
-        self.channel.evolve(self.inter_packet_gap_s)
-
-        return ExchangeOutcome(
-            data_ok=result.data_ok,
-            control_sent=record.plan.embedded_bits,
-            control_received=result.control_bits,
-            rate_mbps=rate.mbps,
-            measured_snr_db=measured,
-            actual_snr_db=actual,
-            n_silences=record.plan.n_silences,
-            detection_fp=fp,
-            detection_fn=fn,
-            control_error=result.control_error,
-            evms=result.evms,
+            transition = None
+        evd_erasures = (
+            int(np.count_nonzero(result.detection.mask))
+            if result.detection is not None
+            else 0
+        )
+        recorder.record(
+            rate_mbps=outcome.rate_mbps,
+            measured_snr_db=outcome.measured_snr_db,
+            actual_snr_db=outcome.actual_snr_db,
+            min_required_snr_db=self.adapter.min_required_snr_db(
+                record.frame.rate
+            ),
+            in_fallback=fallback_after,
+            fallback_transition=transition,
+            allocation=record.allocation,
+            control_subcarriers=record.control_subcarriers,
+            silence_mask=record.frame.silence_mask,
+            detection=result.detection,
+            evd_erasures=evd_erasures,
+            signal_ok=result.phy.signal is not None,
+            crc_ok=outcome.data_ok,
+            control_sent=outcome.control_sent,
+            control_received=outcome.control_received,
+            control_ok=outcome.control_ok,
+            control_error=outcome.control_error,
+            detection_fp=outcome.detection_fp,
+            detection_fn=outcome.detection_fn,
+            evm_selected=(
+                result.selection.subcarriers if result.selection is not None else None
+            ),
         )
 
     def run(

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.cos.intervals import IntervalCodec
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.phy.params import PhyRate, SYMBOL_DURATION_S
 from repro.rateadapt import RateAdapter
 
@@ -172,8 +174,24 @@ class ControlRateController:
         return _PREAMBLE_S + _SIGNAL_S + n_data_symbols * SYMBOL_DURATION_S
 
     def on_data_result(self, data_ok: bool) -> None:
-        """Record the fate of the last packet (failure triggers fallback)."""
+        """Record the fate of the last packet (failure triggers fallback).
+
+        Fallback enter/exit transitions are counted in the metrics
+        registry (``repro_rate_fallback_transitions_total``) and the
+        current state is mirrored in ``repro_rate_in_fallback``.
+        """
+        was = self._fallback
         self._fallback = not data_ok
+        if was != self._fallback:
+            registry = get_registry()
+            registry.counter(
+                "repro_rate_fallback_transitions_total",
+                help="Control-rate controller fallback enter/exit transitions.",
+            ).labels(direction="enter" if self._fallback else "exit").inc()
+            registry.gauge(
+                "repro_rate_in_fallback",
+                help="1 while the control-rate controller is in fallback.",
+            ).set(1.0 if self._fallback else 0.0)
 
     @property
     def in_fallback(self) -> bool:
@@ -183,6 +201,13 @@ class ControlRateController:
         """Budget for the next packet at the current channel state."""
         if n_data_symbols < 1:
             raise ValueError("packet must contain at least one data symbol")
+        with span("cos.rate_control.allocation") as sp:
+            alloc = self._allocation(measured_snr_db, n_data_symbols)
+            sp.set(target_silences=alloc.target_silences,
+                   in_fallback=self._fallback)
+            return alloc
+
+    def _allocation(self, measured_snr_db: float, n_data_symbols: int) -> ControlAllocation:
         rm = self.table.lowest_rm() if self._fallback else self.table.rm_for(measured_snr_db)
         airtime = self.packet_airtime_s(n_data_symbols)
         target_silences = int(rm * airtime * self.safety)

@@ -4,14 +4,25 @@ Usage::
 
     python -m repro.experiments.runner           # quick mode
     REPRO_FULL=1 python -m repro.experiments.runner  # paper-scale
+
+Stage timing uses ``time.perf_counter`` via the :mod:`repro.obs` span API
+(span names ``experiment.<stage>``), so when tracing is enabled the
+harness timings land in the same JSONL trace and ``repro_span_seconds``
+histograms as the link instrumentation.  Diagnostics go through the
+``repro.experiments.runner`` logger — ``repro --log-level``/``--quiet``
+control them; the result tables themselves always print to stdout.
 """
 
 from __future__ import annotations
 
+import logging
 import sys
 import time
 
 from repro.experiments import ablations, fig2, fig3, fig5, fig6, fig7, fig9, fig10, network, waterfall
+from repro.obs.trace import span
+
+log = logging.getLogger("repro.experiments.runner")
 
 
 def main(argv=None) -> int:
@@ -33,14 +44,20 @@ def main(argv=None) -> int:
         ("network", lambda: network.print_result(network.run())),
         ("waterfall", lambda: waterfall.print_result(waterfall.run())),
     ]
+    unknown = only - {name for name, _ in stages}
+    if unknown:
+        log.warning("unknown stage(s) requested: %s", ", ".join(sorted(unknown)))
     for name, stage in stages:
         if only and name not in only:
             continue
-        start = time.time()
-        stage()
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+        log.info("stage %s starting", name)
+        start = time.perf_counter()
+        with span(f"experiment.{name}"):
+            stage()
+        log.info("stage %s done in %.1fs", name, time.perf_counter() - start)
     return 0
 
 
 if __name__ == "__main__":
+    logging.basicConfig(level=logging.INFO, format="%(levelname)s %(name)s: %(message)s")
     raise SystemExit(main())

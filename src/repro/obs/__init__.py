@@ -1,0 +1,139 @@
+"""``repro.obs`` — observability for the CoS pipeline.
+
+Three cooperating pieces, all optional and all off by default:
+
+* :mod:`repro.obs.metrics` — process-wide counters / gauges / histograms,
+  exportable as Prometheus text or JSON;
+* :mod:`repro.obs.trace` — ``span("rx.evd")`` nested wall-clock tracing
+  with a sub-microsecond no-op path when disabled;
+* :mod:`repro.obs.flight` — per-exchange flight records explaining every
+  CoS decision (rate, silences, detection, EVD, CRC, feedback).
+
+:func:`configure` wires all three to one sink::
+
+    import repro.obs as obs
+
+    with obs.configure(trace_out="trace.jsonl") as session:
+        link.run(n_packets=100, payload=b"x" * 512)
+    print(session.registry.to_prometheus())
+
+and ``repro obs summarize trace.jsonl`` renders the per-stage latency
+and failure-cause tables offline (:mod:`repro.obs.summarize`).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs import flight as _flight
+from repro.obs import trace as _trace
+from repro.obs.flight import FlightRecord, FlightRecorder, classify_failure
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.sink import JsonlSink, MemorySink, NullSink, Sink, read_jsonl
+from repro.obs.summarize import (
+    TraceSummary,
+    format_summary,
+    summarize_events,
+    summarize_trace,
+)
+from repro.obs.trace import Tracer, current_tracer, event, span, tracing
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Sink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "read_jsonl",
+    "Tracer",
+    "span",
+    "event",
+    "tracing",
+    "current_tracer",
+    "FlightRecord",
+    "FlightRecorder",
+    "classify_failure",
+    "TraceSummary",
+    "summarize_events",
+    "summarize_trace",
+    "format_summary",
+    "ObsSession",
+    "configure",
+    "shutdown",
+]
+
+
+class ObsSession:
+    """A live observability configuration (use as a context manager)."""
+
+    def __init__(self, sink: Sink, tracer: Optional[Tracer],
+                 recorder: Optional[FlightRecorder],
+                 registry: MetricsRegistry) -> None:
+        self.sink = sink
+        self.tracer = tracer
+        self.recorder = recorder
+        self.registry = registry
+        self._closed = False
+
+    def close(self) -> None:
+        """Disable tracing/flight recording and close the sink."""
+        if self._closed:
+            return
+        self._closed = True
+        if _trace.current_tracer() is self.tracer:
+            _trace.disable()  # closes the sink
+        if _flight.current_recorder() is self.recorder:
+            _flight.disable()
+        self.sink.close()
+
+    def __enter__(self) -> "ObsSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def configure(
+    trace_out: Union[str, Path, io.TextIOBase, Sink, None] = None,
+    registry: Optional[MetricsRegistry] = None,
+    enable_trace: bool = True,
+    enable_flight: bool = True,
+) -> ObsSession:
+    """Enable tracing and/or flight recording, all feeding one sink.
+
+    ``trace_out`` may be a path (JSONL file), an open text stream, a
+    :class:`Sink`, or None (events kept in a :class:`MemorySink`).
+    """
+    registry = registry if registry is not None else get_registry()
+    if isinstance(trace_out, Sink):
+        sink: Sink = trace_out
+    elif trace_out is None:
+        sink = MemorySink()
+    else:
+        sink = JsonlSink(trace_out)
+    tracer = _trace.enable(sink, registry) if enable_trace else None
+    recorder = _flight.enable(sink, registry) if enable_flight else None
+    return ObsSession(sink=sink, tracer=tracer, recorder=recorder,
+                      registry=registry)
+
+
+def shutdown() -> None:
+    """Hard-disable everything (used by tests for isolation)."""
+    _trace.disable()
+    _flight.disable()

@@ -1,0 +1,259 @@
+"""Per-exchange flight records: why a CoS packet succeeded or failed.
+
+One :class:`FlightRecord` captures the whole decision chain of a single
+:meth:`~repro.cos.link.CosLink.exchange` — the selected data rate and the
+SNR gap it left, the control-rate allocation, where silences were placed,
+what the energy detector saw (threshold vs. per-symbol energies), how
+many bit metrics the erasure Viterbi decoder zeroed, the CRC outcome,
+the EVM-selected subcarriers fed back, and the control-rate controller's
+fallback transitions — so a failed exchange can be replayed and
+*explained* after the fact instead of re-run.
+
+Records are emitted as ``"flight"`` events through the same sink the
+tracer uses, and tallied into ``repro_flight_total{cause=...}`` so the
+failure breakdown is available from the metrics registry too.
+
+Failure-cause taxonomy (``failure_cause``):
+
+* ``ok`` — CRC clean and every control bit recovered;
+* ``signal_loss`` — the SIGNAL field was undecodable (nothing downstream
+  could run);
+* ``crc_fail`` — the data field failed CRC (EVD could not recover the
+  erasures/noise);
+* ``feedback_loss`` — data fine but the control message was declared
+  lost (faded control subcarriers or interval-decode error);
+* ``detection_miss`` — data fine, recovery ran, but the recovered
+  control bits differ from what was embedded (missed/spurious silences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.sink import MemorySink, Sink
+
+__all__ = [
+    "FlightRecord",
+    "FlightRecorder",
+    "classify_failure",
+    "enable",
+    "disable",
+    "current_recorder",
+]
+
+FAILURE_CAUSES = ("ok", "signal_loss", "crc_fail", "feedback_loss", "detection_miss")
+
+
+def classify_failure(
+    signal_ok: bool,
+    crc_ok: bool,
+    control_sent: int,
+    control_ok: bool,
+    control_error: Optional[str],
+) -> str:
+    """Collapse an exchange outcome into one failure cause (see module doc)."""
+    if not signal_ok:
+        return "signal_loss"
+    if not crc_ok:
+        return "crc_fail"
+    if control_sent and not control_ok:
+        return "feedback_loss" if control_error else "detection_miss"
+    return "ok"
+
+
+@dataclass
+class FlightRecord:
+    """The CoS decision chain of one exchange (JSON-friendly fields only)."""
+
+    seq: int
+    rate_mbps: int
+    measured_snr_db: float
+    actual_snr_db: float
+    snr_gap_db: float
+    in_fallback: bool
+    fallback_transition: Optional[str]  # "enter" | "exit" | None
+    n_control_subcarriers: int
+    max_control_bits: int
+    target_silences: int
+    control_subcarriers: List[int]
+    n_silences: int
+    silence_positions: List[List[int]]  # [symbol, subcarrier], capped
+    detection_threshold: float
+    energy_min: float
+    energy_mean: float
+    energy_max: float
+    symbol_min_energy: List[float]  # per-symbol min over control subcarriers
+    evd_erasures: int
+    signal_ok: bool
+    crc_ok: bool
+    control_sent_bits: int
+    control_received_bits: int
+    control_ok: bool
+    control_error: Optional[str]
+    detection_fp: float
+    detection_fn: float
+    evm_selected_subcarriers: List[int] = field(default_factory=list)
+    failure_cause: str = "ok"
+
+    def to_event(self) -> Dict:
+        event = asdict(self)
+        event["type"] = "flight"
+        return event
+
+
+class FlightRecorder:
+    """Builds, classifies, emits, and keeps flight records.
+
+    Parameters
+    ----------
+    sink:
+        Where ``"flight"`` events go (shared with the tracer under
+        :func:`repro.obs.configure`).
+    registry:
+        Metrics registry for the ``repro_flight_total`` cause counters.
+    max_positions:
+        Cap on stored silence positions / per-symbol energies per record,
+        to bound record size on long packets.
+    keep:
+        Also retain records in :attr:`records` (handy in-process; the CLI
+        relies on the sink instead).
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Sink] = None,
+        registry: Optional[MetricsRegistry] = None,
+        max_positions: int = 512,
+        keep: bool = True,
+    ) -> None:
+        self.sink = sink if sink is not None else MemorySink()
+        self.registry = registry if registry is not None else get_registry()
+        self.max_positions = max_positions
+        self.keep = keep
+        self.records: List[FlightRecord] = []
+        self._seq = 0
+        self._cause_counter = self.registry.counter(
+            "repro_flight_total",
+            help="CoS exchanges recorded, by failure cause.",
+        )
+
+    def record(
+        self,
+        *,
+        rate_mbps: int,
+        measured_snr_db: float,
+        actual_snr_db: float,
+        min_required_snr_db: float,
+        in_fallback: bool,
+        fallback_transition: Optional[str],
+        allocation,
+        control_subcarriers,
+        silence_mask: Optional[np.ndarray],
+        detection,
+        evd_erasures: int,
+        signal_ok: bool,
+        crc_ok: bool,
+        control_sent: np.ndarray,
+        control_received: np.ndarray,
+        control_ok: bool,
+        control_error: Optional[str],
+        detection_fp: float,
+        detection_fn: float,
+        evm_selected,
+    ) -> FlightRecord:
+        """Assemble and emit one record (called by ``CosLink.exchange``)."""
+        cap = self.max_positions
+        if silence_mask is not None:
+            positions = np.argwhere(np.asarray(silence_mask, dtype=bool))
+            n_silences = int(positions.shape[0])
+            positions = positions[:cap].tolist()
+        else:
+            positions, n_silences = [], 0
+
+        if detection is not None:
+            threshold = float(detection.threshold)
+            energies = np.asarray(detection.energies, dtype=np.float64)
+            if energies.size:
+                energy_min = float(energies.min())
+                energy_mean = float(energies.mean())
+                energy_max = float(energies.max())
+                symbol_min = energies.min(axis=1)[:cap].tolist()
+            else:
+                energy_min = energy_mean = energy_max = float("nan")
+                symbol_min = []
+        else:
+            threshold = float("nan")
+            energy_min = energy_mean = energy_max = float("nan")
+            symbol_min = []
+
+        cause = classify_failure(
+            signal_ok, crc_ok, int(control_sent.size), control_ok, control_error
+        )
+        record = FlightRecord(
+            seq=self._seq,
+            rate_mbps=int(rate_mbps),
+            measured_snr_db=float(measured_snr_db),
+            actual_snr_db=float(actual_snr_db),
+            snr_gap_db=float(actual_snr_db - min_required_snr_db),
+            in_fallback=bool(in_fallback),
+            fallback_transition=fallback_transition,
+            n_control_subcarriers=int(allocation.n_control_subcarriers),
+            max_control_bits=int(allocation.max_control_bits),
+            target_silences=int(allocation.target_silences),
+            control_subcarriers=[int(c) for c in control_subcarriers],
+            n_silences=n_silences,
+            silence_positions=positions,
+            detection_threshold=threshold,
+            energy_min=energy_min,
+            energy_mean=energy_mean,
+            energy_max=energy_max,
+            symbol_min_energy=symbol_min,
+            evd_erasures=int(evd_erasures),
+            signal_ok=bool(signal_ok),
+            crc_ok=bool(crc_ok),
+            control_sent_bits=int(control_sent.size),
+            control_received_bits=int(control_received.size),
+            control_ok=bool(control_ok),
+            control_error=control_error,
+            detection_fp=float(detection_fp),
+            detection_fn=float(detection_fn),
+            evm_selected_subcarriers=(
+                [int(c) for c in evm_selected] if evm_selected is not None else []
+            ),
+            failure_cause=cause,
+        )
+        self._seq += 1
+        self._cause_counter.labels(cause=cause).inc()
+        self.sink.emit(record.to_event())
+        if self.keep:
+            self.records.append(record)
+        return record
+
+
+# ---------------------------------------------------------------------------
+# Module-level switch (mirrors repro.obs.trace)
+# ---------------------------------------------------------------------------
+
+_recorder: Optional[FlightRecorder] = None
+
+
+def enable(sink: Optional[Sink] = None,
+           registry: Optional[MetricsRegistry] = None,
+           **kwargs) -> FlightRecorder:
+    global _recorder
+    _recorder = FlightRecorder(sink=sink, registry=registry, **kwargs)
+    return _recorder
+
+
+def disable() -> None:
+    global _recorder
+    _recorder = None
+
+
+def current_recorder() -> Optional[FlightRecorder]:
+    """The active recorder, or None when flight recording is off."""
+    return _recorder

@@ -1,0 +1,110 @@
+"""Event sinks: where trace spans and flight records go.
+
+Events are flat-ish dicts with a ``type`` field (``"span"``, ``"flight"``,
+``"event"``).  The JSONL sink writes one JSON object per line so traces
+can be streamed, tailed, grepped, and post-processed without loading the
+whole file; :func:`read_jsonl` is the matching reader used by
+``repro obs summarize``.
+
+Numpy scalars/arrays are converted to plain Python types on the way out,
+so instrumented code can hand over whatever it has.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+__all__ = ["Sink", "JsonlSink", "MemorySink", "NullSink", "read_jsonl"]
+
+
+def _jsonable(value):
+    """Best-effort conversion of numpy containers to JSON-native types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class Sink:
+    """Interface: ``emit`` one event dict, ``close`` when done."""
+
+    def emit(self, event: Dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Swallows everything."""
+
+    def emit(self, event: Dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps events in a list — the test/debug sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+
+    def emit(self, event: Dict) -> None:
+        self.events.append(_jsonable(event))
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per line to a file or file-like object."""
+
+    def __init__(self, target: Union[str, Path, io.TextIOBase]) -> None:
+        if isinstance(target, (str, Path)):
+            self._fh: Optional[io.TextIOBase] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.n_events = 0
+
+    def emit(self, event: Dict) -> None:
+        if self._fh is None:
+            raise ValueError("sink is closed")
+        json.dump(_jsonable(event), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.n_events += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns:
+            self._fh.close()
+        self._fh = None
+
+
+def read_jsonl(path: Union[str, Path]) -> Iterator[Dict]:
+    """Yield events from a JSONL trace file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.trace import span
 from repro.phy.frames import Mpdu, parse_mpdu
 from repro.phy.modulation import get_modulation
 from repro.phy.ofdm import DATA_BINS, extract_data, extract_pilots, time_to_grid
@@ -118,6 +119,13 @@ class Receiver:
         Returns ``None`` when the waveform is too short to hold a preamble
         plus SIGNAL symbol.
         """
+        with span("phy.rx.observe") as sp:
+            obs = self._observe(samples)
+            if obs is not None and obs.signal is not None:
+                sp.set(rate_mbps=obs.signal.rate.mbps)
+            return obs
+
+    def _observe(self, samples: np.ndarray) -> Optional[FrameObservation]:
         samples = np.asarray(samples, dtype=np.complex128)
         start = 0 if self.known_timing else synchronize(samples)
         if samples.size - start < PREAMBLE_SAMPLES + SYMBOL_SAMPLES:
@@ -226,6 +234,17 @@ class Receiver:
         their bit metrics zeroed before deinterleaving — the EVD rule of
         eq. (7).
         """
+        with span("phy.rx.decode") as sp:
+            result = self._decode(obs, erasure_mask)
+            if result.signal is not None:
+                sp.set(rate_mbps=result.signal.rate.mbps, crc_ok=result.ok)
+            return result
+
+    def _decode(
+        self,
+        obs: FrameObservation,
+        erasure_mask: Optional[np.ndarray] = None,
+    ) -> RxResult:
         if obs.signal is None:
             return RxResult(mpdu=parse_mpdu(None), signal=None, observation=obs)
         rate = obs.signal.rate

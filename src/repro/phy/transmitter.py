@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.trace import span
 from repro.phy.modulation import get_modulation
 from repro.phy.ofdm import grid_to_time, map_to_grid
 from repro.phy.params import N_DATA_SUBCARRIERS, PhyRate
@@ -81,7 +82,16 @@ class Transmitter:
         """
         if not psdu:
             raise ValueError("psdu must be non-empty")
+        with span("phy.tx.modulate") as sp:
+            sp.set(rate_mbps=rate.mbps, psdu_bytes=len(psdu))
+            return self._transmit(psdu, rate, silence_mask)
 
+    def _transmit(
+        self,
+        psdu: bytes,
+        rate: PhyRate,
+        silence_mask: Optional[np.ndarray],
+    ) -> TxFrame:
         coded_bits = encode_data_field(psdu, rate, self.scrambler_state)
         modulation = get_modulation(rate.modulation)
         data_symbols = modulation.map_bits(coded_bits).reshape(-1, N_DATA_SUBCARRIERS)

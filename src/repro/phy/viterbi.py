@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.trace import span
 from repro.phy.trellis import N_STATES, shared_trellis
 
 __all__ = ["ViterbiDecoder", "hard_bits_to_llrs"]
@@ -56,7 +57,11 @@ class ViterbiDecoder:
         n_steps = llrs.size // 2
         if n_steps == 0:
             return np.zeros(0, dtype=np.uint8)
+        with span("phy.viterbi") as sp:
+            sp.set(n_steps=n_steps)
+            return self._decode_steps(llrs, n_steps)
 
+    def _decode_steps(self, llrs: np.ndarray, n_steps: int) -> np.ndarray:
         # Metric of hypothesis pair p = 2*A + B at each step: +LLR for an
         # expected 0, -LLR for an expected 1 (correlation metric).
         llr_a = llrs[0::2]

@@ -1,0 +1,414 @@
+"""Tests for the repro.obs subsystem: metrics, tracing, flight records."""
+
+import json
+import math
+import time
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.obs import flight as flight_mod
+from repro.obs import trace as trace_mod
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry, set_registry
+from repro.obs.trace import span
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Fresh registry + disabled tracing around every test."""
+    previous = set_registry(MetricsRegistry())
+    obs.shutdown()
+    yield
+    obs.shutdown()
+    set_registry(previous)
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("hits_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_are_independent_children(self):
+        c = MetricsRegistry().counter("hits_total")
+        c.labels(cause="ok").inc(3)
+        c.labels(cause="crc_fail").inc()
+        assert c.labels(cause="ok").value == 3
+        assert c.labels(cause="crc_fail").value == 1
+
+    def test_same_name_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("temp")
+        g.set(10.0)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1, 1]
+        assert h.cumulative_counts() == [1, 2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # le semantics: an observation equal to a bound belongs to it.
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.bucket_counts[0] == 1
+
+    def test_quantiles(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.5, 1.5, 2.5, 3.0, 7.0):
+            h.observe(v)
+        assert 0.0 < h.quantile(0.5) <= 4.0
+        assert h.quantile(1.0) <= 8.0
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, float("inf")))
+
+
+class TestExport:
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", help="things").labels(kind="x").inc(2)
+        reg.gauge("b").set(1.5)
+        reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = reg.to_prometheus()
+        assert "# TYPE a_total counter" in text
+        assert 'a_total{kind="x"} 2.0' in text
+        assert "# HELP a_total things" in text
+        assert "b 1.5" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(reg.to_json())
+        assert snap["a_total"]["kind"] == "counter"
+        assert snap["a_total"]["series"][0]["value"] == 1.0
+        assert snap["h"]["series"][0]["count"] == 1
+
+    def test_reset_clears_families(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        old = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(old)
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        s1 = span("a")
+        s2 = span("b", k=1)
+        assert s1 is s2
+        assert not s1.enabled
+        with s1 as s:
+            assert s.set(x=1) is s  # chainable no-op
+
+    def test_nested_spans_record_parent_and_depth(self):
+        sink = obs.MemorySink()
+        with obs.tracing(sink):
+            with span("outer") as outer:
+                with span("inner"):
+                    time.sleep(0.001)
+            assert outer.enabled
+        inner_ev, outer_ev = sink.events
+        assert inner_ev["name"] == "inner"
+        assert inner_ev["parent"] == outer_ev["id"]
+        assert inner_ev["depth"] == 1
+        assert outer_ev["parent"] is None
+        assert outer_ev["dur_s"] >= inner_ev["dur_s"] >= 0.001
+
+    def test_span_labels_and_late_set(self):
+        sink = obs.MemorySink()
+        with obs.tracing(sink):
+            with span("s", a=1) as sp:
+                sp.set(b="two")
+        assert sink.events[0]["labels"] == {"a": 1, "b": "two"}
+
+    def test_exception_annotates_span(self):
+        sink = obs.MemorySink()
+        with obs.tracing(sink):
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("x")
+        assert sink.events[0]["labels"]["error"] == "RuntimeError"
+
+    def test_span_durations_feed_registry_histogram(self):
+        reg = MetricsRegistry()
+        with obs.tracing(obs.MemorySink(), registry=reg):
+            with span("stage"):
+                pass
+        hist = reg.histogram("repro_span_seconds").labels(name="stage")
+        assert hist.count == 1
+
+    def test_point_events(self):
+        sink = obs.MemorySink()
+        with obs.tracing(sink):
+            with span("s"):
+                obs.event("marker", value=3)
+        marker = [e for e in sink.events if e["type"] == "event"][0]
+        assert marker["name"] == "marker"
+        assert marker["value"] == 3
+        assert marker["parent"] is not None
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        session = obs.configure(trace_out=str(path))
+        with span("outer"):
+            with span("inner", n=np.int64(5)):
+                pass
+        session.close()
+        events = list(obs.read_jsonl(path))
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        assert events[0]["labels"]["n"] == 5  # numpy scalar became JSON int
+
+    def test_noop_fast_path_is_cheap(self):
+        n = 50_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with span("hot"):
+                pass
+        per_span = (time.perf_counter() - t0) / n
+        # Hard bar is < 1 µs (bench_obs_overhead.py); allow CI slack here.
+        assert per_span < 10e-6
+
+
+# ---------------------------------------------------------------------------
+# Flight records
+# ---------------------------------------------------------------------------
+
+
+def _run_link(adapter=None, snr_db=15.0, packets=3, position="A"):
+    from repro.channel import IndoorChannel
+    from repro.cos import CosLink
+
+    channel = IndoorChannel.position(position, snr_db=snr_db, seed=5)
+    link = CosLink(channel=channel, adapter=adapter)
+    return link.run(n_packets=packets, payload=bytes(300))
+
+
+class TestClassifyFailure:
+    def test_taxonomy(self):
+        f = obs.classify_failure
+        assert f(False, False, 4, False, None) == "signal_loss"
+        assert f(True, False, 4, False, None) == "crc_fail"
+        assert f(True, True, 4, False, "too faded") == "feedback_loss"
+        assert f(True, True, 4, False, None) == "detection_miss"
+        assert f(True, True, 4, True, None) == "ok"
+        assert f(True, True, 0, False, None) == "ok"  # nothing sent
+
+
+class TestFlightRecords:
+    def test_crc_pass_record_is_complete(self):
+        sink = obs.MemorySink()
+        session = obs.configure(trace_out=sink)
+        stats = _run_link(packets=2)
+        session.close()
+        assert stats.prr == 1.0
+        flights = [e for e in sink.events if e["type"] == "flight"]
+        assert len(flights) == 2
+        rec = flights[0]
+        assert rec["crc_ok"] is True
+        assert rec["signal_ok"] is True
+        assert rec["failure_cause"] == "ok"
+        assert rec["rate_mbps"] in (6, 9, 12, 18, 24, 36, 48, 54)
+        assert rec["snr_gap_db"] > 0  # rate adaptation leaves headroom
+        assert rec["n_silences"] > 0
+        assert len(rec["silence_positions"]) == min(rec["n_silences"], 512)
+        assert rec["detection_threshold"] > 0
+        assert rec["energy_max"] >= rec["energy_mean"] >= rec["energy_min"]
+        assert len(rec["symbol_min_energy"]) > 0
+        assert rec["evd_erasures"] >= rec["n_silences"] - 50  # detector found most
+        assert rec["control_sent_bits"] > 0
+        assert rec["control_ok"] is True
+        assert rec["evm_selected_subcarriers"]  # feedback flowed on success
+        assert rec["n_control_subcarriers"] >= 1
+        assert rec["target_silences"] >= 0
+        # second packet uses the fed-back subcarriers
+        assert flights[1]["control_subcarriers"]
+
+    def test_crc_fail_record_classified(self):
+        from repro.rateadapt import RateAdapter
+
+        sink = obs.MemorySink()
+        session = obs.configure(trace_out=sink)
+        # Force 64QAM-3/4 at 6 dB: guaranteed CRC failure.
+        _run_link(adapter=RateAdapter(thresholds={54: 2.0}), snr_db=6.0,
+                  packets=2, position="C")
+        session.close()
+        flights = [e for e in sink.events if e["type"] == "flight"]
+        assert flights, "no flight records emitted"
+        failed = [f for f in flights if not f["crc_ok"]]
+        assert failed, "expected at least one CRC failure at 54 Mbps / 6 dB"
+        rec = failed[0]
+        assert rec["failure_cause"] in ("crc_fail", "signal_loss")
+        assert rec["evm_selected_subcarriers"] == []  # no feedback on failure
+        # fallback must have engaged by the next record, if any followed
+        later = [f for f in flights if f["seq"] > rec["seq"]]
+        if later:
+            assert later[0]["in_fallback"] is True
+
+    def test_cause_counter_in_registry(self):
+        reg = get_registry()
+        session = obs.configure(trace_out=obs.MemorySink())
+        _run_link(packets=2)
+        session.close()
+        fam = reg.counter("repro_flight_total")
+        assert fam.labels(cause="ok").value == 2
+
+    def test_recorder_disabled_means_no_records(self):
+        assert flight_mod.current_recorder() is None
+        stats = _run_link(packets=1)
+        assert stats.prr == 1.0  # instrumented path still works untraced
+
+
+# ---------------------------------------------------------------------------
+# Always-on metrics from the instrumented pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineMetrics:
+    def test_exchange_counters(self):
+        reg = get_registry()
+        _run_link(packets=3)
+        assert reg.counter("repro_exchanges_total").value == 3
+        assert reg.counter("repro_tx_packets_total").value == 3
+        assert reg.counter("repro_tx_silences_total").value > 0
+        sent = reg.counter("repro_tx_control_bits_total").value
+        delivered = reg.counter("repro_control_bits_delivered_total").value
+        assert 0 < delivered <= sent
+        assert reg.counter("repro_rate_selected_total").labels(mbps=36).value >= 0
+
+    def test_fallback_transition_counter(self):
+        from repro.cos.rate_control import ControlRateController
+
+        reg = get_registry()
+        ctl = ControlRateController()
+        ctl.on_data_result(False)
+        ctl.on_data_result(True)
+        fam = reg.counter("repro_rate_fallback_transitions_total")
+        assert fam.labels(direction="enter").value == 1
+        assert fam.labels(direction="exit").value == 1
+        assert reg.gauge("repro_rate_in_fallback").value == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Trace summarisation
+# ---------------------------------------------------------------------------
+
+
+class TestSummarize:
+    def test_live_trace_summary_and_coverage(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        session = obs.configure(trace_out=str(path))
+        _run_link(packets=3)
+        session.close()
+        summary = obs.summarize_trace(path)
+        names = {s.name for s in summary.stages}
+        assert {"cos.exchange", "cos.tx.build", "channel.transmit",
+                "cos.rx.receive", "phy.rx.decode", "phy.viterbi",
+                "cos.energy.detect"} <= names
+        assert summary.n_flights == 3
+        assert summary.causes == {"ok": 3}
+        # Acceptance bar: spans cover >= 90 % of exchange wall-clock.
+        assert summary.exchange_coverage >= 0.90
+        exch = summary.stage("cos.exchange")
+        assert exch.count == 3
+        assert exch.p95_s >= exch.p50_s > 0
+
+    def test_format_summary_tables(self):
+        events = [
+            {"type": "span", "name": "cos.exchange", "id": 1, "parent": None,
+             "dur_s": 0.010, "depth": 0},
+            {"type": "span", "name": "cos.rx.receive", "id": 2, "parent": 1,
+             "dur_s": 0.009, "depth": 1},
+            {"type": "flight", "failure_cause": "crc_fail"},
+            {"type": "flight", "failure_cause": "ok"},
+        ]
+        summary = obs.summarize_events(events)
+        text = obs.format_summary(summary)
+        assert "Per-stage latency" in text
+        assert "cos.exchange" in text
+        assert "p95 ms" in text
+        assert "Failure causes" in text
+        assert "crc_fail" in text
+        assert "span coverage: 90.0 %" in text
+
+    def test_empty_trace(self):
+        summary = obs.summarize_events([])
+        assert summary.exchange_coverage == 0.0
+        assert obs.format_summary(summary)  # renders without crashing
+
+
+# ---------------------------------------------------------------------------
+# configure/shutdown lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestConfigure:
+    def test_context_manager_disables_on_exit(self):
+        with obs.configure(trace_out=obs.MemorySink()) as session:
+            assert trace_mod.current_tracer() is session.tracer
+            assert flight_mod.current_recorder() is session.recorder
+        assert trace_mod.current_tracer() is None
+        assert flight_mod.current_recorder() is None
+
+    def test_close_is_idempotent(self):
+        session = obs.configure()
+        session.close()
+        session.close()
+
+    def test_trace_only(self):
+        with obs.configure(enable_flight=False) as session:
+            assert session.recorder is None
+            assert trace_mod.current_tracer() is not None

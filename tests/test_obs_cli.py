@@ -1,0 +1,147 @@
+"""CLI-level tests: --trace-out/--metrics-out, obs summarize, logging flags."""
+
+import json
+import logging
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import build_parser, main
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    previous = set_registry(MetricsRegistry())
+    obs.shutdown()
+    yield
+    obs.shutdown()
+    set_registry(previous)
+
+
+class TestParser:
+    def test_link_obs_flags(self):
+        args = build_parser().parse_args(
+            ["link", "--trace-out", "t.jsonl", "--metrics-out", "m.prom"]
+        )
+        assert args.trace_out == "t.jsonl"
+        assert args.metrics_out == "m.prom"
+
+    def test_obs_summarize_args(self):
+        args = build_parser().parse_args(["obs", "summarize", "trace.jsonl"])
+        assert args.obs_command == "summarize"
+        assert args.trace == "trace.jsonl"
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_global_logging_flags(self):
+        args = build_parser().parse_args(["--log-level", "debug", "info"])
+        assert args.log_level == "debug"
+        args = build_parser().parse_args(["--quiet", "info"])
+        assert args.quiet is True
+
+    def test_invalid_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "info"])
+
+
+class TestLinkTracing:
+    def test_link_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main([
+            "--quiet", "link", "--packets", "4", "--payload", "200",
+            "--snr", "15", "--seed", "5",
+            "--trace-out", str(trace), "--metrics-out", str(prom),
+        ])
+        assert code == 0
+        assert "data PRR" in capsys.readouterr().out
+
+        events = list(obs.read_jsonl(trace))
+        kinds = {e["type"] for e in events}
+        assert kinds == {"span", "flight"}
+        exchanges = [e for e in events
+                     if e["type"] == "span" and e["name"] == "cos.exchange"]
+        flights = [e for e in events if e["type"] == "flight"]
+        assert len(exchanges) == 4
+        assert len(flights) == 4
+
+        text = prom.read_text()
+        assert "repro_exchanges_total 4.0" in text
+        assert "repro_span_seconds_bucket" in text
+        assert "repro_flight_total" in text
+
+    def test_metrics_json_export(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(["--quiet", "link", "--packets", "2", "--payload", "200",
+                     "--metrics-out", str(out)]) == 0
+        snap = json.loads(out.read_text())
+        assert snap["repro_exchanges_total"]["series"][0]["value"] == 2.0
+
+    def test_tracing_disabled_after_run(self, tmp_path):
+        from repro.obs import trace as trace_mod
+
+        main(["--quiet", "link", "--packets", "1", "--payload", "200",
+              "--trace-out", str(tmp_path / "t.jsonl")])
+        assert trace_mod.current_tracer() is None
+
+
+class TestObsSummarize:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["--quiet", "link", "--packets", "4", "--payload", "200",
+                     "--trace-out", str(path)]) == 0
+        return path
+
+    def test_summarize_prints_tables(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["--quiet", "obs", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage latency" in out
+        assert "cos.exchange" in out
+        assert "p50 ms" in out and "p95 ms" in out
+        assert "Failure causes" in out
+        assert "span coverage" in out
+        # summarize must not re-run the simulation: it only reads the file
+        assert "data PRR" not in out
+
+    def test_summarize_coverage_acceptance(self, trace_path):
+        summary = obs.summarize_trace(trace_path)
+        assert summary.exchange_coverage >= 0.90
+
+    def test_summarize_json(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["--quiet", "obs", "summarize", str(trace_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_flights"] == 4
+        assert payload["exchange_coverage"] >= 0.90
+        assert any(s["name"] == "phy.viterbi" for s in payload["stages"])
+
+    def test_summarize_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["--quiet", "obs", "summarize", str(tmp_path / "nope.jsonl")])
+
+
+class TestLoggingFlags:
+    def test_quiet_suppresses_diagnostics(self, tmp_path, capsys):
+        main(["--quiet", "link", "--packets", "1", "--payload", "200",
+              "--trace-out", str(tmp_path / "t.jsonl")])
+        captured = capsys.readouterr()
+        assert "trace written" not in captured.err
+
+    def test_info_level_reports_trace_path(self, tmp_path, capsys):
+        main(["--log-level", "info", "link", "--packets", "1",
+              "--payload", "200", "--trace-out", str(tmp_path / "t.jsonl")])
+        assert "trace written" in capsys.readouterr().err
+
+    def test_setup_logging_sets_level(self):
+        from repro.cli import setup_logging
+
+        setup_logging("debug")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        setup_logging("info", quiet=True)
+        assert logging.getLogger("repro").level == logging.ERROR
