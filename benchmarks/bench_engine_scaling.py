@@ -1,0 +1,92 @@
+"""Trial-engine scaling — serial vs. process-pool throughput.
+
+Runs the same multi-trial sweep (a fig. 3-style decoder-BER workload:
+real TX → channel → RX packets, the engine's typical payload) through
+``repro.engine`` serially and on a 4-worker pool, asserts the results
+are bit-for-bit identical, and reports the speedup.
+
+The achievable speedup is bounded by the host's cores:
+``min(workers, cores)`` minus pool/IPC overhead.  On a 4-core machine
+this sweep reaches ~2–3.5x; on a single-core CI runner the pool can only
+interleave, so the honest expectation there is ~1x (and the assertion
+scales accordingly).  ``extra_info`` records both timings, the speedup,
+and the core count so regressions are visible either way.
+"""
+
+import os
+import time
+
+from conftest import run_once
+from repro import engine
+from repro.experiments.common import ExperimentConfig, init_phy_worker, phy_pair, send_probe_packets
+from repro.phy import RATE_TABLE
+
+_N_TRIALS = 24
+_WORKERS = 4
+_CONFIG = ExperimentConfig()
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _trial(spec):
+    """One probe packet through the full PHY (the harnesses' typical load)."""
+    channel = _CONFIG.channel(spec["snr_db"], seed_offset=spec["r"])
+    ((frame, result),) = send_probe_packets(channel, RATE_TABLE[24], 1)
+    return bool(result.ok), len(frame.coded_bits)
+
+
+def _params():
+    return [{"snr_db": 14.0 + (i % 6), "r": i} for i in range(_N_TRIALS)]
+
+
+def _sweep(workers):
+    return engine.run_sweep(
+        _params(), _trial, seed=11, workers=workers,
+        init=init_phy_worker, label="bench.engine",
+    )
+
+
+def test_engine_scaling(benchmark):
+    # Warm the worker-state cache so serial timing excludes construction.
+    phy_pair()
+
+    t0 = time.perf_counter()
+    serial = _sweep(0)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = _sweep(_WORKERS)
+    parallel_s = time.perf_counter() - t0
+
+    # The determinism contract: identical results, any executor.
+    assert serial == parallel
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    cores = _cpu_count()
+    print(f"\nengine scaling: {_N_TRIALS} trials  "
+          f"serial {serial_s:.2f}s  {_WORKERS}-worker {parallel_s:.2f}s  "
+          f"speedup {speedup:.2f}x  (host cores: {cores})")
+
+    benchmark.extra_info["n_trials"] = _N_TRIALS
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["workers4_s"] = parallel_s
+    benchmark.extra_info["speedup_x"] = speedup
+    benchmark.extra_info["host_cores"] = cores
+
+    # Honest floor: with >= 4 usable cores the pool must deliver a real
+    # speedup (>= 1.8x); with fewer cores it can only match serial modulo
+    # pool overhead, so require it not be pathologically slower.
+    if cores >= 4:
+        assert speedup >= 1.8, f"4-worker speedup {speedup:.2f}x < 1.8x on {cores} cores"
+    else:
+        assert speedup >= 0.4, f"pool pathologically slow: {speedup:.2f}x"
+
+    # The timed section re-runs the parallel sweep under the benchmark
+    # timer so the record carries a calibrated number.
+    result = run_once(benchmark, lambda: _sweep(_WORKERS))
+    assert result == serial

@@ -5,12 +5,19 @@ same rows/series the paper reports (run with ``-s`` to see the tables;
 key scalar outcomes are also attached as ``extra_info`` on the benchmark
 record).  Set ``REPRO_FULL=1`` for paper-scale statistics.
 
+Trial execution goes through :mod:`repro.engine`: pass
+``--repro-workers N`` (or set ``REPRO_WORKERS=N``) to run every
+harness's trials on an N-process pool — results are bit-for-bit
+identical to serial, only the wall-clock changes.
+
 Every numeric ``extra_info`` value is additionally mirrored into the
 process-wide :mod:`repro.obs` metrics registry as
 ``repro_bench_extra_info{bench=...,key=...}`` gauges, so BENCH JSON
 snapshots are first-class metrics: set ``REPRO_METRICS_OUT=path`` to
 dump the whole registry (Prometheus text, or JSON when the path ends in
-``.json``) when the benchmark session finishes.
+``.json``) when the benchmark session finishes.  Worker-side metrics are
+already merged into the parent registry by the engine, so the dump is
+complete under any worker count.
 """
 
 import os
@@ -18,6 +25,32 @@ import os
 import pytest
 
 from repro.obs.metrics import get_registry
+from repro.utils.env import env_int, env_str
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-workers", type=int, default=None, metavar="N",
+        help="trial-engine worker processes for the harnesses "
+             "(0 = serial; default: REPRO_WORKERS or serial)",
+    )
+
+
+def pytest_configure(config):
+    workers = config.getoption("--repro-workers", default=None)
+    if workers is not None:
+        # The harnesses read REPRO_WORKERS through repro.engine when a
+        # benchmark calls run() without an explicit workers argument.
+        os.environ["REPRO_WORKERS"] = str(workers)
+    effective = env_int("REPRO_WORKERS", 0)
+    if effective:
+        config._repro_workers_banner = (
+            f"repro trial engine: {effective} worker processes"
+        )
+
+
+def pytest_report_header(config):
+    return getattr(config, "_repro_workers_banner", None)
 
 
 def run_once(benchmark, fn):
@@ -44,7 +77,7 @@ def _extra_info_to_registry(request):
 
 def pytest_sessionfinish(session, exitstatus):
     """Optionally export the registry after a benchmark run."""
-    out = os.environ.get("REPRO_METRICS_OUT")
+    out = env_str("REPRO_METRICS_OUT")
     if not out:
         return
     registry = get_registry()

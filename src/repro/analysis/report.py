@@ -23,8 +23,13 @@ def _capture(fn: Callable[[], None]) -> str:
     return buffer.getvalue().strip()
 
 
-def generate_report(stages: Optional[List[str]] = None) -> str:
-    """Run the requested experiment stages and return a markdown report."""
+def generate_report(stages: Optional[List[str]] = None,
+                    workers: Optional[int] = None) -> str:
+    """Run the requested experiment stages and return a markdown report.
+
+    ``workers`` selects the trial engine's executor (see
+    :mod:`repro.engine`); the rendered results are identical either way.
+    """
     from repro.experiments import (
         ablations,
         fig2,
@@ -39,26 +44,27 @@ def generate_report(stages: Optional[List[str]] = None) -> str:
     )
     from repro.experiments.common import full_mode
 
+    w = workers
     catalogue: List[Tuple[str, str, Callable[[], None]]] = [
-        ("fig2", "Fig. 2 — SNR gap", lambda: fig2.print_result(fig2.run())),
-        ("fig3", "Fig. 3 — decoder-input BER", lambda: fig3.print_result(fig3.run())),
-        ("fig5", "Fig. 5 — per-subcarrier EVM", lambda: fig5.print_result(fig5.run())),
-        ("fig6", "Fig. 6 — symbol error pattern", lambda: fig6.print_result(fig6.run())),
-        ("fig7", "Fig. 7 — temporal stability", lambda: fig7.print_result(fig7.run())),
-        ("fig9", "Fig. 9 — control capacity", lambda: fig9.print_result(fig9.run())),
-        ("fig10", "Fig. 10 — detection accuracy", lambda: fig10.print_result(fig10.run())),
+        ("fig2", "Fig. 2 — SNR gap", lambda: fig2.print_result(fig2.run(workers=w))),
+        ("fig3", "Fig. 3 — decoder-input BER", lambda: fig3.print_result(fig3.run(workers=w))),
+        ("fig5", "Fig. 5 — per-subcarrier EVM", lambda: fig5.print_result(fig5.run(workers=w))),
+        ("fig6", "Fig. 6 — symbol error pattern", lambda: fig6.print_result(fig6.run(workers=w))),
+        ("fig7", "Fig. 7 — temporal stability", lambda: fig7.print_result(fig7.run(workers=w))),
+        ("fig9", "Fig. 9 — control capacity", lambda: fig9.print_result(fig9.run(workers=w))),
+        ("fig10", "Fig. 10 — detection accuracy", lambda: fig10.print_result(fig10.run(workers=w))),
         (
             "ablations",
             "Ablations — placement and EVD",
             lambda: (
-                ablations.print_placement(ablations.run_placement()),
-                ablations.print_evd(ablations.run_evd()),
+                ablations.print_placement(ablations.run_placement(workers=w)),
+                ablations.print_evd(ablations.run_evd(workers=w)),
             ),
         ),
         ("network", "Network — explicit vs CoS control",
-         lambda: network.print_result(network.run())),
+         lambda: network.print_result(network.run(workers=w))),
         ("waterfall", "PHY waterfall validation",
-         lambda: waterfall.print_result(waterfall.run())),
+         lambda: waterfall.print_result(waterfall.run(workers=w))),
     ]
     selected = [
         entry for entry in catalogue if stages is None or entry[0] in stages
@@ -82,8 +88,9 @@ def generate_report(stages: Optional[List[str]] = None) -> str:
     return "\n".join(parts)
 
 
-def write_report(path: Union[str, Path], stages: Optional[List[str]] = None) -> Path:
+def write_report(path: Union[str, Path], stages: Optional[List[str]] = None,
+                 workers: Optional[int] = None) -> Path:
     """Generate and write the report; returns the path written."""
     path = Path(path)
-    path.write_text(generate_report(stages))
+    path.write_text(generate_report(stages, workers=workers))
     return path

@@ -5,8 +5,11 @@ Commands
 ``info``
     Print the 802.11a rate table, rate-adaptation thresholds, channel
     severity profiles, and the default control-rate table.
-``experiments [fig2 fig3 ...]``
+``experiments [fig2 fig3 ...] [--workers N]``
     Run the figure harnesses (all by default) and print their tables.
+    ``--workers N`` executes trials on an N-process pool via
+    :mod:`repro.engine` (default: the ``REPRO_WORKERS`` environment
+    flag, else serial); results are bit-for-bit identical either way.
 ``link --snr DB --position P --packets N``
     Run a closed-loop CoS session and print its statistics.  With
     ``--trace-out trace.jsonl`` every stage span and per-exchange flight
@@ -53,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiments", help="run figure harnesses")
     exp.add_argument("figures", nargs="*", help="subset, e.g. fig2 fig9 ablations")
+    exp.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="trial-engine worker processes (0 = serial; "
+                          "default: REPRO_WORKERS or serial)")
 
     link = sub.add_parser("link", help="run a closed-loop CoS session")
     link.add_argument("--snr", type=float, default=15.0, help="measured SNR in dB")
@@ -80,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", nargs="?", default="RESULTS.md")
     report.add_argument("--stages", nargs="*", default=None,
                         help="subset, e.g. fig2 waterfall")
+    report.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="trial-engine worker processes (0 = serial; "
+                             "default: REPRO_WORKERS or serial)")
     return parser
 
 
@@ -130,10 +139,13 @@ def _cmd_info() -> int:
     return 0
 
 
-def _cmd_experiments(figures: List[str]) -> int:
+def _cmd_experiments(figures: List[str], workers: Optional[int]) -> int:
     from repro.experiments.runner import main as run_experiments
 
-    return run_experiments(figures)
+    argv = list(figures)
+    if workers is not None:
+        argv += ["--workers", str(workers)]
+    return run_experiments(argv)
 
 
 def _cmd_link(args) -> int:
@@ -202,7 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiments":
-        return _cmd_experiments(args.figures)
+        return _cmd_experiments(args.figures, args.workers)
     if args.command == "link":
         return _cmd_link(args)
     if args.command == "obs":
@@ -210,7 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from repro.analysis.report import write_report
 
-        path = write_report(args.path, stages=args.stages)
+        path = write_report(args.path, stages=args.stages, workers=args.workers)
         print(f"wrote {path}")
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,150 @@
+"""``run_trials`` — the one trial loop every experiment harness shares.
+
+The engine owns everything the hand-rolled loops used to duplicate:
+
+* executor selection (serial / process pool, ``--workers`` /
+  ``REPRO_WORKERS``);
+* deterministic per-trial seeding (:func:`~repro.engine.spec.make_specs`);
+* result ordering — chunks complete in any order, results come back in
+  spec order;
+* worker metrics merge — chunk snapshot deltas fold into the parent
+  registry via :meth:`MetricsRegistry.merge
+  <repro.obs.metrics.MetricsRegistry.merge>`, so counters survive
+  parallelism with no loss;
+* fail-fast structured errors (:class:`~repro.engine.spec.TrialError`
+  with the failing trial's params and seed);
+* progress/ETA logging on the ``repro.engine`` logger, under an
+  ``engine.run`` span.
+
+Experiment modules shrink to a trial function (pure in its
+:class:`~repro.engine.spec.TrialSpec`) plus a reduction over the ordered
+results — see :mod:`repro.experiments.fig2` for the canonical shape.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.engine.executors import make_executor, resolve_workers
+from repro.engine.spec import TrialError, TrialSpec, make_specs
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import span
+
+__all__ = ["run_trials", "run_sweep"]
+
+log = logging.getLogger("repro.engine")
+
+#: Progress lines are logged at INFO once a run has been going this long
+#: (DEBUG before that, so quick sweeps stay quiet).
+_PROGRESS_INFO_AFTER_S = 2.0
+_PROGRESS_MIN_INTERVAL_S = 1.0
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    fn: Callable[[TrialSpec], Any],
+    executor=None,
+    *,
+    workers: Optional[int] = None,
+    init: Optional[Callable[..., Any]] = None,
+    init_args: Tuple = (),
+    chunk_size: Optional[int] = None,
+    label: str = "trials",
+    registry: Optional[MetricsRegistry] = None,
+) -> List[Any]:
+    """Execute ``fn`` over ``specs``; return results in spec order.
+
+    ``fn`` must be a module-level callable (picklable) whose behaviour —
+    including randomness, via ``spec.rng()`` — depends only on the spec.
+    Under that contract the output is bit-for-bit identical for every
+    executor.
+
+    Pass either a prebuilt ``executor`` or ``workers`` (``None`` defers
+    to ``REPRO_WORKERS``; ``0`` is serial).  ``init`` runs once per
+    worker process (and once in-process for serial) to populate
+    :func:`~repro.engine.worker.worker_state` with reusable objects.
+
+    Raises :class:`~repro.engine.spec.TrialError` on the first failing
+    trial, carrying its index, params, seed entropy, and traceback.
+    """
+    specs = list(specs)
+    if executor is None:
+        executor = make_executor(
+            workers, init=init, init_args=init_args, chunk_size=chunk_size
+        )
+    n = len(specs)
+    results: List[Any] = [None] * n
+    parent_registry = registry if registry is not None else get_registry()
+
+    t0 = time.perf_counter()
+    done = 0
+    last_progress = t0
+    with span("engine.run", label=label, trials=n, workers=executor.workers):
+        for chunk in executor.run(fn, specs):
+            if chunk.metrics_snapshot:
+                parent_registry.merge(chunk.metrics_snapshot)
+            if chunk.error is not None:
+                raise TrialError(**chunk.error)
+            for index, result in zip(chunk.indices, chunk.results):
+                results[index] = result
+            done += chunk.n_done
+            last_progress = _log_progress(
+                label, done, n, t0, last_progress, executor.workers
+            )
+    elapsed = time.perf_counter() - t0
+    log.debug(
+        "%s: %d trials done in %.2fs (%s)",
+        label, n, elapsed,
+        "serial" if executor.workers == 0 else f"{executor.workers} workers",
+    )
+    return results
+
+
+def run_sweep(
+    params: Sequence[Mapping[str, Any]],
+    fn: Callable[[TrialSpec], Any],
+    *,
+    seed: Union[int, None] = 0,
+    workers: Optional[int] = None,
+    init: Optional[Callable[..., Any]] = None,
+    init_args: Tuple = (),
+    chunk_size: Optional[int] = None,
+    label: str = "sweep",
+    registry: Optional[MetricsRegistry] = None,
+) -> List[Any]:
+    """``make_specs`` + :func:`run_trials` in one call (the common case)."""
+    return run_trials(
+        make_specs(params, seed=seed),
+        fn,
+        workers=workers,
+        init=init,
+        init_args=init_args,
+        chunk_size=chunk_size,
+        label=label,
+        registry=registry,
+    )
+
+
+def _log_progress(
+    label: str, done: int, total: int, t0: float, last: float, workers: int
+) -> float:
+    now = time.perf_counter()
+    if done < total and now - last < _PROGRESS_MIN_INTERVAL_S:
+        return last
+    elapsed = now - t0
+    eta = elapsed / done * (total - done) if done else float("inf")
+    level = logging.INFO if elapsed >= _PROGRESS_INFO_AFTER_S else logging.DEBUG
+    log.log(
+        level,
+        "%s: %d/%d trials (%.0f%%) in %.1fs, eta %.1fs [workers=%d]",
+        label, done, total, 100.0 * done / total if total else 100.0,
+        elapsed, eta, workers,
+    )
+    return now
+
+
+# Re-exported convenience: resolve_workers is part of the public surface
+# (the CLI and benchmarks use it to echo the effective worker count).
+resolve_workers = resolve_workers

@@ -1,0 +1,141 @@
+"""Worker-side plumbing: chunk execution, per-worker state, obs capture.
+
+Everything here must be importable and picklable from a bare worker
+process.  A chunk is executed by :func:`run_chunk`; under the process
+pool it runs inside a worker whose registry was swapped for a fresh one
+by :func:`worker_initializer`, and the chunk's metric increments come
+back to the parent as a snapshot dict for :meth:`Registry.merge
+<repro.obs.metrics.MetricsRegistry.merge>`.
+
+Per-worker state (:func:`worker_state`) lets trial functions reuse
+expensive objects — e.g. one ``Transmitter``/``Receiver`` pair per
+process instead of one per call — via either the ``init`` hook passed to
+:func:`~repro.engine.core.run_trials` or lazy population from the trial
+function itself.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.spec import TrialSpec
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.trace import span
+
+__all__ = [
+    "ChunkResult",
+    "worker_state",
+    "initialize_state",
+    "worker_initializer",
+    "run_chunk",
+    "run_chunk_in_worker",
+]
+
+#: Process-local scratch space for per-worker reusable objects.
+_STATE: Dict[str, Any] = {}
+
+
+def worker_state() -> Dict[str, Any]:
+    """The per-process state dict (parent process included, for serial)."""
+    return _STATE
+
+
+def initialize_state(init: Optional[Callable[..., Any]], init_args: Tuple = ()) -> None:
+    """Run the per-worker ``init`` hook into :func:`worker_state`.
+
+    The hook may mutate :func:`worker_state` directly or return a dict to
+    merge into it.  Idempotent by convention: hooks should tolerate being
+    called once per ``run_trials`` invocation in the serial path.
+    """
+    if init is None:
+        return
+    result = init(*init_args)
+    if isinstance(result, dict):
+        _STATE.update(result)
+
+
+def worker_initializer(init: Optional[Callable[..., Any]], init_args: Tuple = ()) -> None:
+    """Process-pool initializer: isolate obs state, then run ``init``.
+
+    * Install a **fresh** metrics registry so worker-side increments are
+      deltas (under ``fork`` the child would otherwise inherit — and
+      re-count — everything the parent had already recorded).
+    * Drop any inherited tracer: the parent's sink (often an open file)
+      must not receive interleaved writes from worker processes.
+    """
+    _metrics.set_registry(_metrics.MetricsRegistry())
+    _trace._tracer = None
+    _STATE.clear()
+    initialize_state(init, init_args)
+
+
+@dataclass
+class ChunkResult:
+    """Outcome of one chunk: ordered results or the first failure."""
+
+    indices: List[int] = field(default_factory=list)
+    results: List[Any] = field(default_factory=list)
+    error: Optional[Dict[str, Any]] = None  # TrialError kwargs, picklable
+    metrics_snapshot: Optional[Dict[str, dict]] = None
+
+    @property
+    def n_done(self) -> int:
+        return len(self.results)
+
+
+def run_chunk(
+    fn: Callable[[TrialSpec], Any],
+    specs: Sequence[TrialSpec],
+    *,
+    capture_metrics: bool = False,
+) -> ChunkResult:
+    """Execute a chunk of trials in the current process.
+
+    Stops at the first failing trial and returns its context instead of
+    raising (exceptions may not survive pickling; a dict always does).
+    With ``capture_metrics`` the process registry is snapshotted and
+    reset afterwards so the parent can merge the chunk's delta.
+    """
+    out = ChunkResult()
+    with span("engine.chunk", n_trials=len(specs)):
+        for spec in specs:
+            try:
+                with span("engine.trial", index=spec.index):
+                    result = fn(spec)
+            except Exception as exc:  # noqa: BLE001 — reported, not swallowed
+                out.error = {
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "index": spec.index,
+                    "params": _picklable_params(spec),
+                    "seed_entropy": spec.seed_entropy,
+                    "traceback_text": traceback.format_exc(),
+                }
+                break
+            out.indices.append(spec.index)
+            out.results.append(result)
+    if capture_metrics:
+        registry = _metrics.get_registry()
+        out.metrics_snapshot = registry.snapshot()
+        registry.reset()
+    return out
+
+
+def run_chunk_in_worker(
+    fn: Callable[[TrialSpec], Any], specs: Sequence[TrialSpec]
+) -> ChunkResult:
+    """Entry point submitted to the process pool (module-level: picklable)."""
+    return run_chunk(fn, specs, capture_metrics=True)
+
+
+def _picklable_params(spec: TrialSpec) -> Dict[str, Any]:
+    """Params for the error report; degrade to reprs if pickling worries."""
+    try:
+        import pickle
+
+        pickle.dumps(spec.params)
+        return spec.params
+    except Exception:  # pragma: no cover — defensive
+        return {k: repr(v) for k, v in spec.params.items()}

@@ -17,11 +17,16 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cos.energy import EnergyDetector
+from repro import engine
 from repro.cos.silence import SilencePlanner
-from repro.experiments.common import ExperimentConfig, print_table, scaled
-from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
-from repro.phy.modulation import get_modulation
+from repro.experiments.common import (
+    ExperimentConfig,
+    init_phy_worker,
+    phy_pair,
+    print_table,
+    scaled,
+)
+from repro.phy import RATE_TABLE, build_mpdu
 from repro.phy.params import N_DATA_SUBCARRIERS
 
 __all__ = [
@@ -61,8 +66,7 @@ def _prr_with_placement(
     isolates the *decoding* cost of placement, not detector behaviour.
     """
     rate = RATE_TABLE[rate_mbps]
-    tx = Transmitter()
-    rx = Receiver()
+    tx, rx = phy_pair()
     psdu = build_mpdu(config.payload)
     rng = np.random.default_rng(config.seed + 13)
     channel = config.channel(snr_db)
@@ -99,30 +103,63 @@ class PlacementResult:
         )
 
 
+def _trial(spec: engine.TrialSpec) -> float:
+    """One grid cell: PRR of one (strategy, insertion-rate) pair."""
+    return _prr_with_placement(
+        spec["config"],
+        spec["snr_db"],
+        spec["rate_mbps"],
+        16,
+        spec["groups"],
+        spec["strategy"],
+        spec["n_packets"],
+        use_erasures=spec["use_erasures"],
+    )
+
+
+def _default_groups_grid(config: ExperimentConfig, rate_mbps: int) -> List[int]:
+    rate = RATE_TABLE[rate_mbps]
+    n_symbols = rate.n_symbols_for(len(config.payload) + 4)
+    cap = int(16 * n_symbols / 8.5)
+    return [max(cap // 4, 1), max(cap // 2, 2), max(3 * cap // 4, 3),
+            max(int(0.95 * cap), 4)]
+
+
 def run_placement(
     config: Optional[ExperimentConfig] = None,
     snr_db: float = 9.6,
     rate_mbps: int = 18,
     n_packets: Optional[int] = None,
     groups_grid: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> PlacementResult:
     config = config or ExperimentConfig()
     n_packets = n_packets if n_packets is not None else scaled(20, 120)
-    rate = RATE_TABLE[rate_mbps]
-    n_symbols = rate.n_symbols_for(len(config.payload) + 4)
     if groups_grid is None:
-        cap = int(16 * n_symbols / 8.5)
-        groups_grid = [max(cap // 4, 1), max(cap // 2, 2), max(3 * cap // 4, 3),
-                       max(int(0.95 * cap), 4)]
+        groups_grid = _default_groups_grid(config, rate_mbps)
+
+    strategies = ("weak", "random", "strong")
+    params = [
+        {
+            "config": config,
+            "snr_db": snr_db,
+            "rate_mbps": rate_mbps,
+            "groups": g,
+            "strategy": strategy,
+            "n_packets": n_packets,
+            "use_erasures": True,
+        }
+        for strategy in strategies
+        for g in groups_grid
+    ]
+    prrs = engine.run_sweep(
+        params, _trial, seed=config.seed, workers=workers,
+        init=init_phy_worker, label="ablation.placement",
+    )
 
     result = PlacementResult(groups_grid=list(groups_grid))
-    for strategy in ("weak", "random", "strong"):
-        result.prr[strategy] = [
-            _prr_with_placement(
-                config, snr_db, rate_mbps, 16, g, strategy, n_packets
-            )
-            for g in groups_grid
-        ]
+    for s, strategy in enumerate(strategies):
+        result.prr[strategy] = prrs[s * len(groups_grid) : (s + 1) * len(groups_grid)]
     return result
 
 
@@ -144,28 +181,35 @@ def run_evd(
     rate_mbps: int = 18,
     n_packets: Optional[int] = None,
     groups_grid: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> EvdResult:
     config = config or ExperimentConfig()
     n_packets = n_packets if n_packets is not None else scaled(20, 120)
-    rate = RATE_TABLE[rate_mbps]
-    n_symbols = rate.n_symbols_for(len(config.payload) + 4)
     if groups_grid is None:
-        cap = int(16 * n_symbols / 8.5)
-        groups_grid = [max(cap // 4, 1), max(cap // 2, 2), max(3 * cap // 4, 3),
-                       max(int(0.95 * cap), 4)]
+        groups_grid = _default_groups_grid(config, rate_mbps)
+
+    params = [
+        {
+            "config": config,
+            "snr_db": snr_db,
+            "rate_mbps": rate_mbps,
+            "groups": groups,
+            "strategy": "weak",
+            "n_packets": n_packets,
+            "use_erasures": use_erasures,
+        }
+        for groups in groups_grid
+        for use_erasures in (True, False)
+    ]
+    prrs = engine.run_sweep(
+        params, _trial, seed=config.seed, workers=workers,
+        init=init_phy_worker, label="ablation.evd",
+    )
 
     result = EvdResult(groups_grid=list(groups_grid))
-    for groups in groups_grid:
-        result.prr_evd.append(
-            _prr_with_placement(
-                config, snr_db, rate_mbps, 16, groups, "weak", n_packets, use_erasures=True
-            )
-        )
-        result.prr_error_only.append(
-            _prr_with_placement(
-                config, snr_db, rate_mbps, 16, groups, "weak", n_packets, use_erasures=False
-            )
-        )
+    for i in range(len(groups_grid)):
+        result.prr_evd.append(prrs[2 * i])
+        result.prr_error_only.append(prrs[2 * i + 1])
     return result
 
 

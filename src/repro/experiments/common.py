@@ -1,23 +1,30 @@
 """Shared infrastructure for the per-figure experiment harnesses.
 
-Every experiment module exposes a ``run(config)`` returning a dataclass of
-plain arrays plus a ``print_result`` that renders the same rows/series the
-paper's figure reports.  Benchmarks call ``run`` with the quick defaults;
-set ``REPRO_FULL=1`` for paper-scale packet counts (slower, smoother
-curves, same shapes).
+Every experiment module exposes a ``run(config, ..., workers=None)``
+returning a dataclass of plain arrays plus a ``print_result`` that
+renders the same rows/series the paper's figure reports.  Benchmarks
+call ``run`` with the quick defaults; set ``REPRO_FULL=1`` for
+paper-scale packet counts (slower, smoother curves, same shapes).
+
+Trial execution goes through :mod:`repro.engine`: each module declares a
+module-level trial function plus a reduction, and ``workers``
+(``--workers`` / ``REPRO_WORKERS``) selects serial or process-pool
+execution with bit-identical results.  :func:`init_phy_worker` is the
+engine ``init`` hook that pre-builds one ``Transmitter``/``Receiver``
+pair per worker process; :func:`send_probe_packets` reuses that pair
+instead of reconstructing the PHY per call.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
-
-import numpy as np
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.channel import IndoorChannel
+from repro.engine.worker import worker_state
 from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
 from repro.phy.params import PhyRate
+from repro.utils.env import env_bool
 
 __all__ = [
     "full_mode",
@@ -25,6 +32,8 @@ __all__ = [
     "ExperimentConfig",
     "print_table",
     "send_probe_packets",
+    "init_phy_worker",
+    "phy_pair",
     "DEFAULT_PAYLOAD",
 ]
 
@@ -32,8 +41,8 @@ DEFAULT_PAYLOAD = bytes(range(256)) * 2  # 512 B of known, non-trivial payload
 
 
 def full_mode() -> bool:
-    """True when REPRO_FULL=1 requests paper-scale runs."""
-    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+    """True when ``REPRO_FULL=1`` requests paper-scale runs."""
+    return env_bool("REPRO_FULL", default=False)
 
 
 def scaled(quick: int, full: int) -> int:
@@ -75,6 +84,33 @@ def _fmt(value) -> str:
     return str(value)
 
 
+# ---------------------------------------------------------------------------
+# Per-worker PHY reuse
+# ---------------------------------------------------------------------------
+
+_PHY_PAIR_KEY = "experiments.phy_pair"
+
+
+def phy_pair() -> Tuple[Transmitter, Receiver]:
+    """The process-local ``(Transmitter, Receiver)`` pair, built lazily.
+
+    Both objects are stateless across packets (the scrambler state is a
+    constructor constant), so sharing one pair per process is bit-exact
+    with constructing them per call — it just stops re-paying the
+    construction cost once per probe batch.
+    """
+    pair = worker_state().get(_PHY_PAIR_KEY)
+    if pair is None:
+        pair = (Transmitter(), Receiver())
+        worker_state()[_PHY_PAIR_KEY] = pair
+    return pair
+
+
+def init_phy_worker() -> None:
+    """Engine ``init`` hook: pre-build the PHY pair in each worker."""
+    phy_pair()
+
+
 def send_probe_packets(
     channel: IndoorChannel,
     rate: PhyRate,
@@ -84,9 +120,11 @@ def send_probe_packets(
 ) -> List:
     """Send ``n_packets`` plain (silence-free) packets, returning RxResults
     paired with their TxFrames: ``[(tx_frame, rx_result), ...]``.
+
+    Uses the per-worker PHY pair from :func:`phy_pair` — call sites no
+    longer construct a fresh ``Transmitter``/``Receiver`` per batch.
     """
-    tx = Transmitter()
-    rx = Receiver()
+    tx, rx = phy_pair()
     psdu = build_mpdu(payload)
     results = []
     for _ in range(n_packets):

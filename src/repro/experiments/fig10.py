@@ -12,20 +12,31 @@ and grows only at very low SNR.
 (d) FN vs SNR under strong pulse interference: bursts landing on silence
 symbols raise their energy above threshold, so FN explodes — the one
 scenario CoS does not handle (the paper defers it to MAC coordination).
+
+Engine trials are per *packet*: each packet draws its silences (and its
+interferer, for (d)) from the trial's own ``SeedSequence`` stream, so
+packets are independent and the sweeps parallelise freely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import engine
 from repro.channel import PulseInterferer
 from repro.cos.energy import EnergyDetector
 from repro.cos.silence import SilencePlanner
-from repro.experiments.common import ExperimentConfig, print_table, scaled
-from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro.experiments.common import (
+    ExperimentConfig,
+    init_phy_worker,
+    phy_pair,
+    print_table,
+    scaled,
+)
+from repro.phy import RATE_TABLE, build_mpdu
 from repro.phy.modulation import get_modulation
 
 __all__ = [
@@ -55,8 +66,7 @@ def _one_packet_with_silences(
     """Transmit one packet with random silences on the fixed control set."""
     channel = config.channel(snr_db, seed_offset=seed_offset, interferer=interferer)
     rate = RATE_TABLE[rate_mbps]
-    tx = Transmitter()
-    rx = Receiver()
+    tx, rx = phy_pair()
     psdu = build_mpdu(config.payload)
     planner = SilencePlanner(CONTROL_SUBCARRIERS)
     n_symbols = rate.n_symbols_for(len(psdu))
@@ -128,44 +138,65 @@ class ThresholdSweepResult:
         return float(self.thresholds_db[sign_change[0]])
 
 
+def _threshold_trial(spec: engine.TrialSpec) -> Optional[Tuple[List[float], List[float]]]:
+    """One packet's FP/FN at every candidate threshold (None if unheard)."""
+    config: ExperimentConfig = spec["config"]
+    detector = EnergyDetector(adaptive=False)
+    frame, obs, _ = _one_packet_with_silences(
+        config, spec["snr_db"], 12, spec.rng(), seed_offset=spec["packet"]
+    )
+    if obs is None:
+        return None
+    n_sym = frame.n_data_symbols
+    fps, fns = [], []
+    for t_db in spec["thresholds_db"]:
+        threshold = obs.noise_var * 10.0 ** (t_db / 10.0)
+        report = detector.detect(
+            obs.raw_data_grid[:n_sym],
+            CONTROL_SUBCARRIERS,
+            obs.noise_var,
+            threshold=threshold,
+        )
+        fp, fn = EnergyDetector.confusion(
+            report.mask, frame.silence_mask, CONTROL_SUBCARRIERS
+        )
+        fps.append(fp)
+        fns.append(fn)
+    return fps, fns
+
+
 def run_threshold_sweep(
     config: Optional[ExperimentConfig] = None,
     snr_db: float = 9.2,
     n_packets: Optional[int] = None,
     thresholds_db: Optional[np.ndarray] = None,
+    workers: Optional[int] = None,
 ) -> ThresholdSweepResult:
     """Fig. 10(b): FP/FN vs the (fixed, global) detection threshold."""
     config = config or ExperimentConfig()
     n_packets = n_packets if n_packets is not None else scaled(12, 100)
     if thresholds_db is None:
         thresholds_db = np.arange(-6.0, 22.0, 2.0)
-    rng = np.random.default_rng(config.seed + 1)
-    detector = EnergyDetector(adaptive=False)
 
-    fps = {t: [] for t in thresholds_db}
-    fns = {t: [] for t in thresholds_db}
-    for i in range(n_packets):
-        frame, obs, _ = _one_packet_with_silences(config, snr_db, 12, rng, seed_offset=i)
-        if obs is None:
-            continue
-        n_sym = frame.n_data_symbols
-        for t_db in thresholds_db:
-            threshold = obs.noise_var * 10.0 ** (t_db / 10.0)
-            report = detector.detect(
-                obs.raw_data_grid[:n_sym],
-                CONTROL_SUBCARRIERS,
-                obs.noise_var,
-                threshold=threshold,
-            )
-            fp, fn = EnergyDetector.confusion(
-                report.mask, frame.silence_mask, CONTROL_SUBCARRIERS
-            )
-            fps[t_db].append(fp)
-            fns[t_db].append(fn)
+    params = [
+        {
+            "config": config,
+            "snr_db": snr_db,
+            "packet": i,
+            "thresholds_db": tuple(float(t) for t in thresholds_db),
+        }
+        for i in range(n_packets)
+    ]
+    outcomes = engine.run_sweep(
+        params, _threshold_trial, seed=config.seed + 1, workers=workers,
+        init=init_phy_worker, label="fig10.threshold",
+    )
+    fps = [o[0] for o in outcomes if o is not None]
+    fns = [o[1] for o in outcomes if o is not None]
     return ThresholdSweepResult(
         thresholds_db=np.asarray(thresholds_db, dtype=np.float64),
-        false_positive=np.array([np.mean(fps[t]) for t in thresholds_db]),
-        false_negative=np.array([np.mean(fns[t]) for t in thresholds_db]),
+        false_positive=np.mean(fps, axis=0),
+        false_negative=np.mean(fns, axis=0),
     )
 
 
@@ -182,49 +213,77 @@ class AccuracyResult:
     interference: bool = False
 
 
+def _accuracy_trial(spec: engine.TrialSpec):
+    """One packet's (FP, FN) under the adaptive threshold.
+
+    Returns ``(fp, fn)``; either entry may be ``None`` when that packet
+    contributes no sample (e.g. interference broke the SIGNAL field and
+    the packet carried no silences).
+    """
+    config: ExperimentConfig = spec["config"]
+    detector = EnergyDetector()
+    modulation = get_modulation("qpsk")
+    power = spec["interferer_power"]
+    interferer = (
+        PulseInterferer(
+            pulse_power=power, symbol_probability=0.25, rng=spec.child_rng(1)
+        )
+        if power is not None
+        else None
+    )
+    frame, obs, _ = _one_packet_with_silences(
+        config, spec["snr_db"], 12, spec.rng(),
+        seed_offset=100 + spec["packet"], interferer=interferer,
+    )
+    n_sym = frame.n_data_symbols
+    if obs is None or obs.raw_data_grid.shape[0] < n_sym:
+        # Interference broke even the SIGNAL field: the receiver
+        # obtains neither data nor control — every silence missed.
+        if frame.silence_mask.any():
+            return None, 1.0
+        return None, None
+    report = detector.detect(
+        obs.raw_data_grid[:n_sym],
+        CONTROL_SUBCARRIERS,
+        obs.noise_var,
+        h_gains=np.abs(obs.h_data) ** 2,
+        min_symbol_energy=modulation.min_symbol_energy,
+    )
+    fp, fn = EnergyDetector.confusion(
+        report.mask, frame.silence_mask, CONTROL_SUBCARRIERS
+    )
+    return fp, fn
+
+
 def _accuracy_vs_snr(
     config: ExperimentConfig,
     snrs_db: np.ndarray,
     n_packets: int,
     interferer_power: Optional[float],
+    workers: Optional[int] = None,
 ) -> AccuracyResult:
-    rng = np.random.default_rng(config.seed + 2)
-    detector = EnergyDetector()
-    modulation = get_modulation("qpsk")
+    params = [
+        {
+            "config": config,
+            "snr_db": float(snr),
+            "packet": i,
+            "interferer_power": interferer_power,
+        }
+        for snr in snrs_db
+        for i in range(n_packets)
+    ]
+    label = "fig10.interference" if interferer_power is not None else "fig10.accuracy"
+    outcomes = engine.run_sweep(
+        params, _accuracy_trial, seed=config.seed + 2, workers=workers,
+        init=init_phy_worker, label=label,
+    )
     fps, fns = [], []
-    for snr in snrs_db:
-        fp_list, fn_list = [], []
-        for i in range(n_packets):
-            interferer = (
-                PulseInterferer(pulse_power=interferer_power, symbol_probability=0.25,
-                                rng=np.random.default_rng(config.seed + 7 * i))
-                if interferer_power is not None
-                else None
-            )
-            frame, obs, _ = _one_packet_with_silences(
-                config, float(snr), 12, rng, seed_offset=100 + i, interferer=interferer
-            )
-            n_sym = frame.n_data_symbols
-            if obs is None or obs.raw_data_grid.shape[0] < n_sym:
-                # Interference broke even the SIGNAL field: the receiver
-                # obtains neither data nor control — every silence missed.
-                if frame.silence_mask.any():
-                    fn_list.append(1.0)
-                continue
-            report = detector.detect(
-                obs.raw_data_grid[:n_sym],
-                CONTROL_SUBCARRIERS,
-                obs.noise_var,
-                h_gains=np.abs(obs.h_data) ** 2,
-                min_symbol_energy=modulation.min_symbol_energy,
-            )
-            fp, fn = EnergyDetector.confusion(
-                report.mask, frame.silence_mask, CONTROL_SUBCARRIERS
-            )
-            fp_list.append(fp)
-            fn_list.append(fn)
-        fps.append(np.mean(fp_list))
-        fns.append(np.mean(fn_list))
+    for s in range(len(snrs_db)):
+        chunk = outcomes[s * n_packets : (s + 1) * n_packets]
+        fp_list = [fp for fp, _ in chunk if fp is not None]
+        fn_list = [fn for _, fn in chunk if fn is not None]
+        fps.append(np.mean(fp_list) if fp_list else float("nan"))
+        fns.append(np.mean(fn_list) if fn_list else float("nan"))
     return AccuracyResult(
         snrs_db=np.asarray(snrs_db, dtype=np.float64),
         false_positive=np.array(fps),
@@ -237,13 +296,15 @@ def run_accuracy_vs_snr(
     config: Optional[ExperimentConfig] = None,
     snrs_db: Optional[np.ndarray] = None,
     n_packets: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> AccuracyResult:
     """Fig. 10(c): FP/FN vs SNR with the adaptive threshold."""
     config = config or ExperimentConfig()
     n_packets = n_packets if n_packets is not None else scaled(10, 100)
     if snrs_db is None:
         snrs_db = np.array([3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0])
-    return _accuracy_vs_snr(config, snrs_db, n_packets, interferer_power=None)
+    return _accuracy_vs_snr(config, snrs_db, n_packets, interferer_power=None,
+                            workers=workers)
 
 
 def run_interference(
@@ -251,13 +312,15 @@ def run_interference(
     snrs_db: Optional[np.ndarray] = None,
     n_packets: Optional[int] = None,
     pulse_power: float = 20.0,
+    workers: Optional[int] = None,
 ) -> AccuracyResult:
     """Fig. 10(d): FN vs SNR under strong pulse interference."""
     config = config or ExperimentConfig()
     n_packets = n_packets if n_packets is not None else scaled(10, 100)
     if snrs_db is None:
         snrs_db = np.array([3.0, 6.0, 10.0, 14.0, 18.0, 20.0])
-    return _accuracy_vs_snr(config, snrs_db, n_packets, interferer_power=pulse_power)
+    return _accuracy_vs_snr(config, snrs_db, n_packets, interferer_power=pulse_power,
+                            workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -273,13 +336,14 @@ class Fig10Result:
     interference: AccuracyResult
 
 
-def run(config: Optional[ExperimentConfig] = None) -> Fig10Result:
+def run(config: Optional[ExperimentConfig] = None,
+        workers: Optional[int] = None) -> Fig10Result:
     config = config or ExperimentConfig()
     return Fig10Result(
         snapshot=run_snapshot(config),
-        threshold_sweep=run_threshold_sweep(config),
-        accuracy=run_accuracy_vs_snr(config),
-        interference=run_interference(config),
+        threshold_sweep=run_threshold_sweep(config, workers=workers),
+        accuracy=run_accuracy_vs_snr(config, workers=workers),
+        interference=run_interference(config, workers=workers),
     )
 
 

@@ -6,6 +6,10 @@ is the extra error rate the code could still absorb: the decoder-input
 BER at the rate's minimum required SNR (12 dB) minus the actual BER at
 the operating point.  It grows with measured SNR — that growth is the
 correction capability CoS converts into silence symbols.
+
+Trials (one per (SNR, channel realization)) run through
+:mod:`repro.engine`; the reduction averages the per-packet BERs of each
+grid SNR and subtracts the reference point.
 """
 
 from __future__ import annotations
@@ -15,8 +19,15 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import engine
 from repro.analysis import bit_error_rate
-from repro.experiments.common import ExperimentConfig, print_table, scaled, send_probe_packets
+from repro.experiments.common import (
+    ExperimentConfig,
+    init_phy_worker,
+    print_table,
+    scaled,
+    send_probe_packets,
+)
 from repro.phy import RATE_TABLE
 
 __all__ = ["DecoderBerPoint", "DecoderBerResult", "run", "print_result"]
@@ -39,18 +50,19 @@ class DecoderBerResult:
         return all(b >= a - 1e-4 for a, b in zip(reds, reds[1:]))
 
 
-def _mean_decoder_input_ber(config, snr, n_packets, realizations) -> float:
+def _trial(spec: engine.TrialSpec) -> List[float]:
+    """Decoder-input BERs of one channel realization's probe packets."""
+    config: ExperimentConfig = spec["config"]
     rate = RATE_TABLE[24]
+    channel = config.channel(spec["snr_db"], seed_offset=31 * spec["realization"])
     bers = []
-    for r in range(realizations):
-        channel = config.channel(float(snr), seed_offset=31 * r)
-        for frame, result in send_probe_packets(
-            channel, rate, n_packets, payload=config.payload
-        ):
-            if result.pre_viterbi_bits is None:
-                continue
-            bers.append(bit_error_rate(frame.coded_bits, result.pre_viterbi_bits))
-    return float(np.mean(bers)) if bers else float("nan")
+    for frame, result in send_probe_packets(
+        channel, rate, spec["n_packets"], payload=config.payload
+    ):
+        if result.pre_viterbi_bits is None:
+            continue
+        bers.append(bit_error_rate(frame.coded_bits, result.pre_viterbi_bits))
+    return bers
 
 
 def run(
@@ -58,6 +70,7 @@ def run(
     snr_grid: Optional[np.ndarray] = None,
     n_packets: Optional[int] = None,
     realizations: int = 2,
+    workers: Optional[int] = None,
 ) -> DecoderBerResult:
     """Reproduce Fig. 3 over the 24 Mbps band (measured SNR 12–17.3 dB)."""
     config = config or ExperimentConfig()
@@ -65,14 +78,26 @@ def run(
         snr_grid = np.array([12.0, 12.5, 13.0, 13.5, 14.0, 14.5, 15.0, 15.5, 16.0, 16.5, 17.0, 17.3])
     n_packets = n_packets if n_packets is not None else scaled(6, 40)
 
-    reference = _mean_decoder_input_ber(config, snr_grid[0], n_packets, realizations)
+    params = [
+        {"config": config, "snr_db": float(snr), "realization": r, "n_packets": n_packets}
+        for snr in snr_grid
+        for r in range(realizations)
+    ]
+    per_trial = engine.run_sweep(
+        params, _trial, seed=config.seed, workers=workers,
+        init=init_phy_worker, label="fig3",
+    )
+
+    def mean_ber(grid_index: int) -> float:
+        bers: List[float] = []
+        for r in range(realizations):
+            bers.extend(per_trial[grid_index * realizations + r])
+        return float(np.mean(bers)) if bers else float("nan")
+
+    reference = mean_ber(0)
     points = []
-    for snr in snr_grid:
-        actual = (
-            reference
-            if snr == snr_grid[0]
-            else _mean_decoder_input_ber(config, snr, n_packets, realizations)
-        )
+    for i, snr in enumerate(snr_grid):
+        actual = reference if i == 0 else mean_ber(i)
         points.append(
             DecoderBerPoint(
                 measured_snr_db=float(snr),

@@ -4,6 +4,9 @@ A fixed packet with symbols known to both ends is sent repeatedly; the
 receiver computes EVM per data subcarrier (eq. (1)).  Different positions
 exhibit different degrees of frequency-selective fading, with EVM spreads
 up to ~13 % across subcarriers of a single link in the paper.
+
+One engine trial per receiver position (each position is an independent
+channel, so positions measure in parallel).
 """
 
 from __future__ import annotations
@@ -13,8 +16,15 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import engine
 from repro.cos.evm import per_subcarrier_evm
-from repro.experiments.common import ExperimentConfig, print_table, scaled, send_probe_packets
+from repro.experiments.common import (
+    ExperimentConfig,
+    init_phy_worker,
+    print_table,
+    scaled,
+    send_probe_packets,
+)
 from repro.phy import RATE_TABLE
 from repro.phy.modulation import get_modulation
 
@@ -62,22 +72,45 @@ def measure_evm(
 REPRESENTATIVE_SEED = 27
 
 
+def _trial(spec: engine.TrialSpec) -> np.ndarray:
+    """Per-subcarrier EVM of one receiver position."""
+    cfg = ExperimentConfig(
+        seed=spec["seed"], position=spec["position"], payload=spec["payload"]
+    )
+    channel = cfg.channel(spec["snr_db"])
+    return measure_evm(channel, 24, spec["n_packets"], spec["payload"])
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     snr_db: float = 15.0,
     n_packets: Optional[int] = None,
     positions: Optional[List[str]] = None,
+    workers: Optional[int] = None,
 ) -> EvmResult:
     """Measure Fig. 5's per-subcarrier EVM at positions A, B and C."""
     config = config or ExperimentConfig(seed=REPRESENTATIVE_SEED)
     n_packets = n_packets if n_packets is not None else scaled(8, 50)
     positions = positions or ["A", "B", "C"]
 
+    params = [
+        {
+            "seed": config.seed,
+            "position": position,
+            "payload": config.payload,
+            "snr_db": snr_db,
+            "n_packets": n_packets,
+        }
+        for position in positions
+    ]
+    evms = engine.run_sweep(
+        params, _trial, seed=config.seed, workers=workers,
+        init=init_phy_worker, label="fig5",
+    )
+
     result = EvmResult(snr_db=snr_db)
-    for position in positions:
-        cfg = ExperimentConfig(seed=config.seed, position=position, payload=config.payload)
-        channel = cfg.channel(snr_db)
-        result.evms[position] = measure_evm(channel, 24, n_packets, config.payload)
+    for position, evm in zip(positions, evms):
+        result.evms[position] = evm
     return result
 
 

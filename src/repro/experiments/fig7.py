@@ -5,6 +5,12 @@ magnitude vector D(t) (one entry per data subcarrier), advances the channel
 by τ ∈ {10, 20, 30, 40} ms, snapshots D(t+τ), and accumulates the
 normalised change ∇EVM (eq. (2)).  Small ∇EVM means the current feedback
 predicts the next packet's weak subcarriers.
+
+Engine trials: one "snapshots" trial for Fig. 7(a) plus one "instant"
+trial per measurement instant of Fig. 7(b).  Each trial owns an
+independent channel (its own seed offset), so the instants parallelise;
+the τ ladder *within* a trial stays sequential because the channel
+evolves through it.
 """
 
 from __future__ import annotations
@@ -14,9 +20,16 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import engine
 from repro.cos.evm import error_vector_magnitudes, nabla_evm
-from repro.experiments.common import ExperimentConfig, print_table, scaled
-from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro.experiments.common import (
+    ExperimentConfig,
+    init_phy_worker,
+    phy_pair,
+    print_table,
+    scaled,
+)
+from repro.phy import RATE_TABLE, build_mpdu
 
 __all__ = ["TemporalResult", "run", "print_result"]
 
@@ -56,8 +69,7 @@ def _snapshot(channel, rate, payload, n_avg: int = 12) -> Optional[np.ndarray]:
     reflects channel drift, as in the paper's trace-based measurement.
     The channel is *not* evolved between the averaging packets.
     """
-    tx = Transmitter()
-    rx = Receiver()
+    tx, rx = phy_pair()
     snapshots = []
     for _ in range(n_avg):
         frame = tx.transmit(build_mpdu(payload), rate)
@@ -75,45 +87,67 @@ def _snapshot(channel, rate, payload, n_avg: int = 12) -> Optional[np.ndarray]:
     return np.mean(snapshots, axis=0)
 
 
+def _trial(spec: engine.TrialSpec):
+    """One Fig. 7 trial: the (a) snapshot ladder or one (b) instant."""
+    config: ExperimentConfig = spec["config"]
+    rate = RATE_TABLE[spec["rate_mbps"]]
+    snr_db = spec["snr_db"]
+
+    if spec["kind"] == "snapshots":
+        # Fig. 7(a): snapshots at increasing gaps from a common t.
+        channel = config.channel(snr_db, doppler_hz=EFFECTIVE_DOPPLER_HZ)
+        snapshots = {0.0: _snapshot(channel, rate, config.payload)}
+        elapsed = 0.0
+        for tau in TAUS_MS:
+            channel.evolve((tau - elapsed) * 1e-3)
+            elapsed = tau
+            snapshots[tau] = _snapshot(channel, rate, config.payload)
+        return snapshots
+
+    # Fig. 7(b): ∇EVM at each τ for one independent instant.
+    channel = config.channel(
+        snr_db, seed_offset=101 + spec["trial"], doppler_hz=EFFECTIVE_DOPPLER_HZ
+    )
+    d_now = _snapshot(channel, rate, config.payload)
+    if d_now is None:
+        return {}
+    nablas: Dict[float, float] = {}
+    elapsed = 0.0
+    for tau in TAUS_MS:
+        channel.evolve((tau - elapsed) * 1e-3)
+        elapsed = tau
+        d_later = _snapshot(channel, rate, config.payload)
+        if d_later is None:
+            continue
+        nablas[tau] = nabla_evm(d_now, d_later)
+    return nablas
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     snr_db: float = 18.0,
     n_trials: Optional[int] = None,
     rate_mbps: int = 24,
+    workers: Optional[int] = None,
 ) -> TemporalResult:
     """Measure ∇EVM for each τ over ``n_trials`` independent instants."""
     config = config or ExperimentConfig(payload=bytes(1368))
     n_trials = n_trials if n_trials is not None else scaled(6, 40)
-    rate = RATE_TABLE[rate_mbps]
+
+    base = {"config": config, "snr_db": snr_db, "rate_mbps": rate_mbps}
+    params = [{**base, "kind": "snapshots"}] + [
+        {**base, "kind": "instant", "trial": t} for t in range(n_trials)
+    ]
+    outcomes = engine.run_sweep(
+        params, _trial, seed=config.seed, workers=workers,
+        init=init_phy_worker, label="fig7",
+    )
 
     result = TemporalResult(nabla_samples={t: [] for t in TAUS_MS})
-    channel = config.channel(snr_db, doppler_hz=EFFECTIVE_DOPPLER_HZ)
-
-    # Fig. 7(a): one set of snapshots at increasing gaps from a common t.
-    base = _snapshot(channel, rate, config.payload)
-    result.evm_snapshots[0.0] = base
-    elapsed = 0.0
-    for tau in TAUS_MS:
-        channel.evolve((tau - elapsed) * 1e-3)
-        elapsed = tau
-        result.evm_snapshots[tau] = _snapshot(channel, rate, config.payload)
-
-    # Fig. 7(b): ∇EVM statistics over many instants.
-    for trial in range(n_trials):
-        channel = config.channel(
-            snr_db, seed_offset=101 + trial, doppler_hz=EFFECTIVE_DOPPLER_HZ
-        )
-        d_now = _snapshot(channel, rate, config.payload)
-        if d_now is None:
-            continue
-        elapsed = 0.0
-        for tau in TAUS_MS:
-            channel.evolve((tau - elapsed) * 1e-3)
-            elapsed = tau
-            d_later = _snapshot(channel, rate, config.payload)
-            if d_later is None:
-                continue
-            result.nabla_samples[tau].append(nabla_evm(d_now, d_later))
+    result.evm_snapshots.update(outcomes[0])
+    for nablas in outcomes[1:]:
+        for tau, value in nablas.items():
+            result.nabla_samples[tau].append(value)
     return result
 
 

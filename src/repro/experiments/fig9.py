@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import engine
 from repro.cos.intervals import IntervalCodec
 from repro.cos.link import CosLink
 from repro.cos.rate_control import ControlAllocation, ControlRateController
@@ -153,13 +154,25 @@ def _find_rm(
     )
 
 
+def _trial(spec: engine.TrialSpec) -> CapacityPoint:
+    """One band point: the full Rm search at a fixed measured SNR."""
+    return _find_rm(
+        spec["config"], spec["snr_db"], spec["n_packets"], spec["max_failures"]
+    )
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     n_packets: Optional[int] = None,
     points_per_band: int = 2,
     bands_mbps=None,
+    workers: Optional[int] = None,
 ) -> CapacityResult:
-    """Measure Rm at ``points_per_band`` SNRs inside each rate band."""
+    """Measure Rm at ``points_per_band`` SNRs inside each rate band.
+
+    Each band point is one engine trial (the Rm binary search within a
+    point is adaptive, hence sequential; points are independent).
+    """
     config = config or ExperimentConfig()
     n_packets = n_packets if n_packets is not None else scaled(24, 150)
     # At paper scale (>=150 packets) this is the exact 99.3 % criterion; at
@@ -169,17 +182,27 @@ def run(
     adapter = RateAdapter()
     bands = bands_mbps or _BANDS_MBPS
 
-    result = CapacityResult()
-    for mbps in bands:
-        from repro.phy import RATE_TABLE
+    from repro.phy import RATE_TABLE
 
+    params = []
+    for mbps in bands:
         low, high = adapter.band(RATE_TABLE[mbps])
         if high == float("inf"):
             high = low + 3.0
         snrs = np.linspace(low + 0.3, high - 0.3, points_per_band)
-        for snr in snrs:
-            result.points.append(_find_rm(config, float(snr), n_packets, max_failures))
-    return result
+        params.extend(
+            {
+                "config": config,
+                "snr_db": float(snr),
+                "n_packets": n_packets,
+                "max_failures": max_failures,
+            }
+            for snr in snrs
+        )
+    points = engine.run_sweep(
+        params, _trial, seed=config.seed, workers=workers, label="fig9"
+    )
+    return CapacityResult(points=list(points))
 
 
 def print_result(result: CapacityResult) -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import engine
 from repro.experiments.common import print_table
 from repro.mac.overhead import ControlScheme, OverheadResult, run_overhead_comparison
 
@@ -40,28 +41,50 @@ class NetworkComparisonResult:
         return sum(r.control_airtime_fraction for r in self.explicit) / len(self.explicit)
 
 
+def _trial(spec: engine.TrialSpec) -> OverheadResult:
+    """One DCF simulation: a (scheme, contention level) pair."""
+    if spec["scheme"] == ControlScheme.COS:
+        return run_overhead_comparison(
+            ControlScheme.COS,
+            n_stations=spec["n_stations"],
+            cos_delivery_prob=spec["cos_delivery_prob"],
+            seed=spec["seed"],
+        )
+    return run_overhead_comparison(
+        ControlScheme.EXPLICIT, n_stations=spec["n_stations"], seed=spec["seed"]
+    )
+
+
 def run(
     station_counts: Optional[List[int]] = None,
     cos_delivery_prob: float = 0.97,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> NetworkComparisonResult:
-    """Compare the two control schemes across contention levels."""
+    """Compare the two control schemes across contention levels.
+
+    One engine trial per (scheme, station count) — each DCF simulation
+    is seeded independently, so all cells run in parallel.
+    """
     station_counts = station_counts or [2, 4, 8, 12]
+    params = [
+        {
+            "scheme": scheme,
+            "n_stations": n,
+            "cos_delivery_prob": cos_delivery_prob,
+            "seed": seed,
+        }
+        for n in station_counts
+        for scheme in (ControlScheme.EXPLICIT, ControlScheme.COS)
+    ]
+    outcomes = engine.run_sweep(
+        params, _trial, seed=seed, workers=workers, label="network"
+    )
+
     result = NetworkComparisonResult(station_counts=list(station_counts))
-    for n in station_counts:
-        result.explicit.append(
-            run_overhead_comparison(
-                ControlScheme.EXPLICIT, n_stations=n, seed=seed
-            )
-        )
-        result.cos.append(
-            run_overhead_comparison(
-                ControlScheme.COS,
-                n_stations=n,
-                cos_delivery_prob=cos_delivery_prob,
-                seed=seed,
-            )
-        )
+    for i in range(len(station_counts)):
+        result.explicit.append(outcomes[2 * i])
+        result.cos.append(outcomes[2 * i + 1])
     return result
 
 

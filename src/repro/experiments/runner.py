@@ -2,59 +2,93 @@
 
 Usage::
 
-    python -m repro.experiments.runner           # quick mode
-    REPRO_FULL=1 python -m repro.experiments.runner  # paper-scale
+    python -m repro.experiments.runner                    # quick, serial
+    python -m repro.experiments.runner --workers 4        # process pool
+    python -m repro.experiments.runner fig2 fig9          # subset
+    REPRO_FULL=1 python -m repro.experiments.runner       # paper-scale
+    REPRO_WORKERS=4 python -m repro.experiments.runner    # pool via env
 
-Stage timing uses ``time.perf_counter`` via the :mod:`repro.obs` span API
-(span names ``experiment.<stage>``), so when tracing is enabled the
-harness timings land in the same JSONL trace and ``repro_span_seconds``
-histograms as the link instrumentation.  Diagnostics go through the
+Stage timing comes from the ``experiment.<stage>`` spans themselves
+(:func:`repro.obs.trace.timed_span`): when tracing is enabled the stage
+timings land in the JSONL trace and the ``repro_span_seconds``
+histograms exactly as logged — there is no second, hand-rolled
+``perf_counter`` path to drift out of sync.  Diagnostics go through the
 ``repro.experiments.runner`` logger — ``repro --log-level``/``--quiet``
 control them; the result tables themselves always print to stdout.
+
+``--workers N`` (default: the ``REPRO_WORKERS`` environment flag, else
+serial) is forwarded to every stage's ``run(workers=...)``; trial
+results are bit-for-bit identical either way (see ``docs/engine.md``).
 """
 
 from __future__ import annotations
 
+import argparse
 import logging
 import sys
-import time
+from typing import List, Optional
 
+from repro.engine import resolve_workers
 from repro.experiments import ablations, fig2, fig3, fig5, fig6, fig7, fig9, fig10, network, waterfall
-from repro.obs.trace import span
+from repro.obs.trace import timed_span
 
 log = logging.getLogger("repro.experiments.runner")
 
 
-def main(argv=None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
-    only = set(argv)
-
-    stages = [
-        ("fig2", lambda: fig2.print_result(fig2.run())),
-        ("fig3", lambda: fig3.print_result(fig3.run())),
-        ("fig5", lambda: fig5.print_result(fig5.run())),
-        ("fig6", lambda: fig6.print_result(fig6.run())),
-        ("fig7", lambda: fig7.print_result(fig7.run())),
-        ("fig9", lambda: fig9.print_result(fig9.run())),
-        ("fig10", lambda: fig10.print_result(fig10.run())),
-        ("ablations", lambda: (
-            ablations.print_placement(ablations.run_placement()),
-            ablations.print_evd(ablations.run_evd()),
+def _stages():
+    return [
+        ("fig2", lambda w: fig2.print_result(fig2.run(workers=w))),
+        ("fig3", lambda w: fig3.print_result(fig3.run(workers=w))),
+        ("fig5", lambda w: fig5.print_result(fig5.run(workers=w))),
+        ("fig6", lambda w: fig6.print_result(fig6.run(workers=w))),
+        ("fig7", lambda w: fig7.print_result(fig7.run(workers=w))),
+        ("fig9", lambda w: fig9.print_result(fig9.run(workers=w))),
+        ("fig10", lambda w: fig10.print_result(fig10.run(workers=w))),
+        ("ablations", lambda w: (
+            ablations.print_placement(ablations.run_placement(workers=w)),
+            ablations.print_evd(ablations.run_evd(workers=w)),
         )),
-        ("network", lambda: network.print_result(network.run())),
-        ("waterfall", lambda: waterfall.print_result(waterfall.run())),
+        ("network", lambda w: network.print_result(network.run(workers=w))),
+        ("waterfall", lambda w: waterfall.print_result(waterfall.run(workers=w))),
     ]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="run the figure harnesses and print the paper-style tables",
+    )
+    parser.add_argument(
+        "stages", nargs="*", metavar="stage",
+        help="subset to run, e.g. fig2 fig9 ablations (default: all)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="trial-engine worker processes (0 = serial; "
+             "default: REPRO_WORKERS or serial)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    only = set(args.stages)
+    workers = args.workers  # None defers to REPRO_WORKERS inside the engine
+
+    stages = _stages()
     unknown = only - {name for name, _ in stages}
     if unknown:
         log.warning("unknown stage(s) requested: %s", ", ".join(sorted(unknown)))
+    log.info("trial engine: %s",
+             "serial" if resolve_workers(workers) == 0
+             else f"{resolve_workers(workers)} workers")
     for name, stage in stages:
         if only and name not in only:
             continue
         log.info("stage %s starting", name)
-        start = time.perf_counter()
-        with span(f"experiment.{name}"):
-            stage()
-        log.info("stage %s done in %.1fs", name, time.perf_counter() - start)
+        with timed_span(f"experiment.{name}") as sp:
+            stage(workers)
+        log.info("stage %s done in %.1fs", name, sp.duration_s)
     return 0
 
 

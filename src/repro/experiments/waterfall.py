@@ -16,8 +16,15 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig, print_table, scaled
-from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro import engine
+from repro.experiments.common import (
+    ExperimentConfig,
+    init_phy_worker,
+    phy_pair,
+    print_table,
+    scaled,
+)
+from repro.phy import RATE_TABLE, build_mpdu
 
 __all__ = ["WaterfallResult", "run", "print_result"]
 
@@ -48,35 +55,60 @@ class WaterfallResult:
         return all(b >= a - 1.0 for a, b in zip(thresholds, thresholds[1:]))
 
 
+def _trial(spec: engine.TrialSpec) -> float:
+    """PER of one (rate, SNR) grid cell over its packet budget."""
+    config: ExperimentConfig = spec["config"]
+    tx, rx = phy_pair()
+    psdu = build_mpdu(bytes(spec["payload_octets"]))
+    rate = RATE_TABLE[spec["rate_mbps"]]
+    n_packets = spec["n_packets"]
+    failures = 0
+    for i in range(n_packets):
+        channel = config.channel(spec["snr_db"], seed_offset=13 * i)
+        frame = tx.transmit(psdu, rate)
+        if not rx.receive(channel.transmit(frame.waveform)).ok:
+            failures += 1
+    return failures / n_packets
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     snrs_db: Optional[np.ndarray] = None,
     n_packets: Optional[int] = None,
     rates_mbps=_DEFAULT_RATES,
     payload_octets: int = 256,
+    workers: Optional[int] = None,
 ) -> WaterfallResult:
-    """Measure PER waterfalls on the mild position-C channel."""
+    """Measure PER waterfalls on the mild position-C channel.
+
+    One engine trial per (rate, SNR) cell — each packet's channel is an
+    independent seeded draw, so the grid parallelises freely.
+    """
     config = config or ExperimentConfig(position="C")
     n_packets = n_packets if n_packets is not None else scaled(12, 100)
     if snrs_db is None:
         snrs_db = np.arange(0.0, 26.0, 2.0)
 
-    tx = Transmitter()
-    rx = Receiver()
-    psdu = build_mpdu(bytes(payload_octets))
+    params = [
+        {
+            "config": config,
+            "rate_mbps": mbps,
+            "snr_db": float(snr),
+            "n_packets": n_packets,
+            "payload_octets": payload_octets,
+        }
+        for mbps in rates_mbps
+        for snr in snrs_db
+    ]
+    pers = engine.run_sweep(
+        params, _trial, seed=config.seed, workers=workers,
+        init=init_phy_worker, label="waterfall",
+    )
+
     result = WaterfallResult(snrs_db=np.asarray(snrs_db, dtype=np.float64))
-    for mbps in rates_mbps:
-        rate = RATE_TABLE[mbps]
-        pers = []
-        for snr in snrs_db:
-            failures = 0
-            for i in range(n_packets):
-                channel = config.channel(float(snr), seed_offset=13 * i)
-                frame = tx.transmit(psdu, rate)
-                if not rx.receive(channel.transmit(frame.waveform)).ok:
-                    failures += 1
-            pers.append(failures / n_packets)
-        result.per[mbps] = np.array(pers)
+    n_snrs = len(result.snrs_db)
+    for r, mbps in enumerate(rates_mbps):
+        result.per[mbps] = np.array(pers[r * n_snrs : (r + 1) * n_snrs])
     return result
 
 

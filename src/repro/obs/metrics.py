@@ -261,6 +261,50 @@ class MetricsRegistry:
         with self._lock:
             self._families.clear()
 
+    def merge(self, other: "MetricsRegistry | Dict[str, dict]") -> None:
+        """Fold another registry (or a :meth:`snapshot` dict) into this one.
+
+        Merge semantics mirror Prometheus federation: counters and
+        histogram ``sum``/``count``/bucket counts **add**; gauges are
+        last-write-wins (the merged-in value overwrites).  This is how
+        ``repro.engine`` folds worker-process metrics back into the
+        parent registry — snapshots are plain dicts, so they cross
+        process boundaries as pickles with no shared state.
+
+        Raises :class:`ValueError` on kind or histogram-bucket mismatch
+        so silent double-registration bugs cannot corrupt counts.
+        """
+        snapshot = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = data["kind"]
+            help_ = data.get("help", "")
+            for entry in data.get("series", []):
+                labels = {str(k): str(v) for k, v in entry.get("labels", {}).items()}
+                if kind == "counter":
+                    self.counter(name, help_).labels(**labels).inc(float(entry["value"]))
+                elif kind == "gauge":
+                    self.gauge(name, help_).labels(**labels).set(float(entry["value"]))
+                elif kind == "histogram":
+                    fam = self.histogram(name, help_, buckets=entry["buckets"])
+                    child = fam.labels(**labels)
+                    if tuple(child.buckets) != tuple(entry["buckets"]):
+                        raise ValueError(
+                            f"cannot merge histogram {name!r}: bucket bounds differ "
+                            f"({child.buckets} vs {tuple(entry['buckets'])})"
+                        )
+                    incoming = entry["bucket_counts"]
+                    if len(incoming) != len(child.bucket_counts):
+                        raise ValueError(
+                            f"cannot merge histogram {name!r}: bucket count mismatch"
+                        )
+                    child.sum += float(entry["sum"])
+                    child.count += int(entry["count"])
+                    for i, c in enumerate(incoming):
+                        child.bucket_counts[i] += int(c)
+                else:
+                    raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
     def snapshot(self) -> Dict[str, dict]:
         """Plain-dict snapshot: ``{name: {kind, help, series: [...]}}``."""
         out: Dict[str, dict] = {}

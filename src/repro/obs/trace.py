@@ -35,8 +35,10 @@ from repro.obs.sink import MemorySink, Sink
 __all__ = [
     "NullSpan",
     "Span",
+    "TimerSpan",
     "Tracer",
     "span",
+    "timed_span",
     "event",
     "enable",
     "disable",
@@ -190,6 +192,52 @@ def span(name: str, **labels):
     tracer = _tracer
     if tracer is None:
         return _NULL_SPAN
+    return Span(tracer, name, labels)
+
+
+class TimerSpan:
+    """A measuring stand-in for :class:`Span` when tracing is disabled.
+
+    Unlike :class:`NullSpan` it records ``duration_s``, so callers that
+    *report* timings (e.g. the experiment runner's per-stage log lines)
+    have one timing source whether or not tracing is on.  Nothing is
+    emitted anywhere — it is a stopwatch, not a trace event.
+    """
+
+    __slots__ = ("duration_s", "_t0")
+
+    def __init__(self) -> None:
+        self.duration_s = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "TimerSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        return False
+
+    def set(self, **labels) -> "TimerSpan":
+        return self
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+
+def timed_span(name: str, **labels):
+    """Like :func:`span`, but ``duration_s`` is valid even when disabled.
+
+    With tracing enabled this *is* a traced span (recorded to the sink
+    and the ``repro_span_seconds`` histogram); disabled, it degrades to a
+    plain stopwatch.  Use for coarse stage timing that feeds log lines —
+    never on hot paths (the whole point of :class:`NullSpan` is that hot
+    paths pay nothing when tracing is off).
+    """
+    tracer = _tracer
+    if tracer is None:
+        return TimerSpan()
     return Span(tracer, name, labels)
 
 

@@ -1,0 +1,90 @@
+"""Tests for :mod:`repro.utils.env` — shared environment-flag parsing."""
+
+import pytest
+
+from repro.utils.env import env_bool, env_int, env_str
+
+FLAG = "REPRO_TEST_FLAG"
+
+
+class TestEnvBool:
+    @pytest.mark.parametrize("raw", ["1", "true", "TRUE", "True", "yes", "YES",
+                                     "on", "On", "  true  "])
+    def test_true_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(FLAG, raw)
+        assert env_bool(FLAG) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "FALSE", "False", "no", "NO",
+                                     "off", "Off", "", "  off  "])
+    def test_false_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(FLAG, raw)
+        assert env_bool(FLAG, default=True) is False
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(FLAG, raising=False)
+        assert env_bool(FLAG) is False
+        assert env_bool(FLAG, default=True) is True
+
+    @pytest.mark.parametrize("raw", ["2", "truthy", "enabled", "oui"])
+    def test_garbage_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(FLAG, raw)
+        with pytest.raises(ValueError, match=FLAG):
+            env_bool(FLAG)
+
+
+class TestEnvInt:
+    def test_parses_integers(self, monkeypatch):
+        monkeypatch.setenv(FLAG, "4")
+        assert env_int(FLAG) == 4
+        monkeypatch.setenv(FLAG, "  -2 ")
+        assert env_int(FLAG) == -2
+
+    def test_unset_and_empty_return_default(self, monkeypatch):
+        monkeypatch.delenv(FLAG, raising=False)
+        assert env_int(FLAG, 7) == 7
+        monkeypatch.setenv(FLAG, "   ")
+        assert env_int(FLAG, 7) == 7
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(FLAG, "many")
+        with pytest.raises(ValueError, match=FLAG):
+            env_int(FLAG)
+
+
+class TestEnvStr:
+    def test_returns_value(self, monkeypatch):
+        monkeypatch.setenv(FLAG, "out.json")
+        assert env_str(FLAG) == "out.json"
+
+    def test_empty_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv(FLAG, "")
+        assert env_str(FLAG) is None
+        assert env_str(FLAG, "fallback") == "fallback"
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(FLAG, raising=False)
+        assert env_str(FLAG) is None
+
+
+class TestConsumers:
+    """The flags the repo actually reads go through these helpers."""
+
+    def test_full_mode_accepts_friendly_spellings(self, monkeypatch):
+        from repro.experiments.common import full_mode
+
+        monkeypatch.setenv("REPRO_FULL", "yes")
+        assert full_mode() is True
+        monkeypatch.setenv("REPRO_FULL", "off")
+        assert full_mode() is False
+        monkeypatch.delenv("REPRO_FULL")
+        assert full_mode() is False
+
+    def test_default_workers_reads_env(self, monkeypatch):
+        from repro.engine import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "-1")
+        assert default_workers() == 0  # clamped
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() == 0
