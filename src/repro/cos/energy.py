@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels.energy import silence_energies, silence_mask
 from repro.obs.trace import span
 from repro.phy.params import N_DATA_SUBCARRIERS
 
@@ -132,8 +133,8 @@ class EnergyDetector:
         else:
             thresholds = float(threshold)
         with span("cos.energy.detect") as sp:
-            energies = np.abs(grid[:, control]) ** 2
-            detected = energies < thresholds
+            energies = silence_energies(grid, control)
+            detected = silence_mask(energies, thresholds)
 
             mask = np.zeros(grid.shape, dtype=bool)
             mask[:, control] = detected

@@ -16,6 +16,7 @@ function itself.
 
 from __future__ import annotations
 
+import logging
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -65,11 +66,27 @@ def worker_initializer(init: Optional[Callable[..., Any]], init_args: Tuple = ()
       re-count — everything the parent had already recorded).
     * Drop any inherited tracer: the parent's sink (often an open file)
       must not receive interleaved writes from worker processes.
+    * Pre-warm the compute-kernel backend (:func:`repro.kernels.warmup`)
+      so JIT compilation / table builds happen once per worker, never
+      inside a measured trial.
     """
     _metrics.set_registry(_metrics.MetricsRegistry())
     _trace._tracer = None
     _STATE.clear()
+    _prewarm_kernels()
     initialize_state(init, init_args)
+
+
+def _prewarm_kernels() -> None:
+    """Warm the kernel backend; never let a warm-up failure kill a worker."""
+    try:
+        from repro import kernels
+
+        kernels.warmup()
+    except Exception:  # pragma: no cover — defensive; warm-up is best-effort
+        logging.getLogger("repro.engine").warning(
+            "kernel warm-up failed in worker", exc_info=True
+        )
 
 
 @dataclass

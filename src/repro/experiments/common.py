@@ -107,7 +107,16 @@ def phy_pair() -> Tuple[Transmitter, Receiver]:
 
 
 def init_phy_worker() -> None:
-    """Engine ``init`` hook: pre-build the PHY pair in each worker."""
+    """Engine ``init`` hook: pre-build the PHY pair in each worker.
+
+    Also pre-warms the compute-kernel backend so table builds / JIT
+    compilation never land inside a measured trial (the process-pool
+    initializer does this too; calling again is an idempotent no-op —
+    this covers the serial path).
+    """
+    from repro import kernels
+
+    kernels.warmup()
     phy_pair()
 
 

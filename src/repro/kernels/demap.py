@@ -1,0 +1,65 @@
+"""Constellation demapping kernels over precomputed per-modulation tables.
+
+The Gray-coded 802.11a constellations factor into independent I/Q PAM
+axes, so both soft and hard demapping reduce to per-axis kernels.  The
+tables they consume — PAM levels and per-bit "is this label a 1?" masks —
+are built once per :class:`~repro.phy.modulation.Modulation` (they used to
+be rebuilt on every property access *and* every demap call).
+
+``axis_llrs`` computes CSI-weighted max-log LLRs with the per-bit min
+-distance masks applied as ``±inf`` selectors (one vectorized pass, no
+per-bit boolean rebuild).  ``axis_hard_bits`` unpacks the nearest-level
+index straight through a precomputed label-bit table instead of shifting
+per call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["axis_llrs", "axis_hard_bits", "build_axis_masks", "build_label_bits"]
+
+
+def build_axis_masks(n_levels: int, bits_per_axis: int) -> np.ndarray:
+    """``(bits_per_axis, n_levels)`` bool — True where the label has bit 1.
+
+    Bit 0 is the first transmitted bit of the axis (label MSB).
+    """
+    labels = np.arange(n_levels)
+    shifts = np.arange(bits_per_axis - 1, -1, -1)
+    return ((labels[None, :] >> shifts[:, None]) & 1).astype(bool)
+
+
+def build_label_bits(n_levels: int, bits_per_axis: int) -> np.ndarray:
+    """``(n_levels, bits_per_axis)`` uint8 — label index unpacked to bits."""
+    return build_axis_masks(n_levels, bits_per_axis).T.astype(np.uint8).copy()
+
+
+def axis_llrs(
+    observed: np.ndarray,
+    csi: np.ndarray,
+    levels: np.ndarray,
+    is_one_masks: np.ndarray,
+) -> np.ndarray:
+    """Max-log LLRs for one PAM axis; shape ``(n_symbols, bits_per_axis)``.
+
+    ``levels`` is the axis PAM alphabet indexed by label, ``is_one_masks``
+    the output of :func:`build_axis_masks` for that alphabet.
+    """
+    d2 = (observed[:, None] - levels[None, :]) ** 2  # (n, L)
+    m = is_one_masks.shape[0]
+    llrs = np.empty((observed.size, m))
+    for bit in range(m):
+        is_one = is_one_masks[bit]
+        d0 = np.where(is_one[None, :], np.inf, d2).min(axis=1)
+        d1 = np.where(is_one[None, :], d2, np.inf).min(axis=1)
+        llrs[:, bit] = (d1 - d0) * csi
+    return llrs
+
+
+def axis_hard_bits(
+    observed: np.ndarray, levels: np.ndarray, label_bits: np.ndarray
+) -> np.ndarray:
+    """Nearest-level hard decisions as ``(n_symbols, bits_per_axis)`` uint8."""
+    idx = np.abs(observed[:, None] - levels[None, :]).argmin(axis=1)
+    return label_bits[idx]

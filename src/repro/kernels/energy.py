@@ -1,0 +1,31 @@
+"""Silence energy-detection kernels (§III-B/C hot path).
+
+One packet's detection is a reduction over the un-equalised frequency
+grid: per-cell energies on the control subcarriers compared against a
+(scalar or per-subcarrier) threshold.  ``silence_energies`` computes
+``|Y|^2`` as ``re² + im²`` in one pass — no intermediate ``np.abs``
+(which pays a square root only to be squared again).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["silence_energies", "silence_mask"]
+
+
+def silence_energies(grid: np.ndarray, control: np.ndarray) -> np.ndarray:
+    """``(n_symbols, n_control)`` energies of the control subcarriers.
+
+    ``grid`` is the complex ``(n_symbols, 48)`` raw data grid; ``control``
+    an integer index array of control subcarriers.
+    """
+    cells = grid[:, control]
+    return np.square(cells.real) + np.square(cells.imag)
+
+
+def silence_mask(
+    energies: np.ndarray, thresholds: np.ndarray | float
+) -> np.ndarray:
+    """Boolean silence decisions: ``energies < thresholds`` (broadcast)."""
+    return energies < thresholds

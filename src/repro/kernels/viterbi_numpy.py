@@ -1,0 +1,140 @@
+"""NumPy Viterbi kernels: blocked ACS (default) and the step reference.
+
+Both functions decode a rate-1/2 LLR stream (``A0 B0 A1 B1 …``, positive
+favours 0, zero = erasure) into ``n_steps = len(llrs) // 2`` information
+bits.  Semantics are identical; only the execution strategy differs:
+
+* :func:`decode_reference` — the legacy one-step-per-iteration recursion,
+  kept verbatim as the semantics anchor for equivalence tests.
+* :func:`decode_blocked` — fuses ``block`` steps per iteration.  Branch
+  metrics for *all* super-steps come from a single matmul against the
+  precomputed sign matrix (:mod:`repro.kernels.tables`); the Python-level
+  ACS loop then runs ``n_steps / block`` times over ``(64, 2^block)``
+  candidates, and traceback emits ``block`` bits per iteration.  ~4× the
+  reference's packet-decode throughput at ``block=4``.
+
+Tie handling is identical by construction: ``argmax`` picks the first
+(lowest-``j``) maximiser, and ``j``'s bit order makes that the same path
+the per-step rule keeps.  On exact-arithmetic inputs (integer LLRs, hard
+decisions, erasures) the two are bit-for-bit interchangeable, ties
+included; on generic floats they agree wherever no exact metric tie or
+rounding-order coincidence occurs (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.tables import PAIR_SIGN_A, PAIR_SIGN_B, block_tables
+from repro.phy.trellis import N_STATES, shared_trellis
+
+__all__ = ["decode_blocked", "decode_reference", "DEFAULT_BLOCK", "NEG_INF"]
+
+NEG_INF = -1e18
+
+#: Default steps fused per super-step.  Sweet spot on CPython+NumPy: the
+#: matmul stays tiny while the interpreted loop count drops 4×.
+DEFAULT_BLOCK = 4
+
+#: Re-centre path metrics about their max this often (in trellis steps).
+#: Purely a float-range guard — metrics grow ~|LLR|·steps and float64 has
+#: headroom for any realistic packet, so the cadence is uncritical.
+NORM_INTERVAL = 256
+
+_IDX64 = np.arange(N_STATES)
+
+
+def _segment_plan(n_steps: int, block: int):
+    """Split ``n_steps`` into a run of ``block``-sized super-steps plus a
+    remainder segment (handled by the ``k = remainder`` tables)."""
+    n_blocks, rem = divmod(n_steps, block)
+    plan = []
+    if n_blocks:
+        plan.append((block, n_blocks))
+    if rem:
+        plan.append((rem, 1))
+    return plan
+
+
+def decode_blocked(
+    llrs: np.ndarray, terminated: bool = True, block: int = DEFAULT_BLOCK
+) -> np.ndarray:
+    """Blocked add-compare-select Viterbi decode (the fast NumPy path)."""
+    llrs = np.asarray(llrs, dtype=np.float64)
+    if llrs.size % 2 != 0:
+        raise ValueError("LLR stream must contain whole (A, B) pairs")
+    n_steps = llrs.size // 2
+    if n_steps == 0:
+        return np.zeros(0, dtype=np.uint8)
+
+    metric = np.full(N_STATES, NEG_INF)
+    metric[0] = 0.0
+    segments = []  # (tables, decisions, start_step)
+    pos = 0
+    for k, n_blocks in _segment_plan(n_steps, block):
+        tables = block_tables(k)
+        blk = llrs[2 * pos : 2 * (pos + k * n_blocks)].reshape(n_blocks, 2 * k)
+        # One matmul: branch metrics of every super-step, flat over (s, j).
+        branch_metrics = blk @ tables.sign_matrix_t
+        prev_flat = tables.prev_state.reshape(-1)
+        n_branches = 1 << k
+        decisions = np.empty((n_blocks, N_STATES), dtype=np.uint8)
+        norm_every = max(1, NORM_INTERVAL // k)
+        for t in range(n_blocks):
+            cand = (metric[prev_flat] + branch_metrics[t]).reshape(
+                N_STATES, n_branches
+            )
+            j = cand.argmax(axis=1)
+            decisions[t] = j
+            metric = cand[_IDX64, j]
+            if t % norm_every == norm_every - 1:
+                metric = metric - metric.max()
+        segments.append((tables, decisions, pos))
+        pos += k * n_blocks
+
+    state = 0 if terminated else int(metric.argmax())
+    bits = np.empty(n_steps, dtype=np.uint8)
+    for tables, decisions, start in reversed(segments):
+        k = tables.k
+        prev_k, bits_k = tables.prev_state, tables.info_bits
+        for t in range(decisions.shape[0] - 1, -1, -1):
+            j = decisions[t, state]
+            bits[start + t * k : start + (t + 1) * k] = bits_k[state, j]
+            state = int(prev_k[state, j])
+    return bits
+
+
+def decode_reference(llrs: np.ndarray, terminated: bool = True) -> np.ndarray:
+    """The legacy step-by-step NumPy recursion (semantics anchor)."""
+    llrs = np.asarray(llrs, dtype=np.float64)
+    if llrs.size % 2 != 0:
+        raise ValueError("LLR stream must contain whole (A, B) pairs")
+    n_steps = llrs.size // 2
+    if n_steps == 0:
+        return np.zeros(0, dtype=np.uint8)
+
+    llr_a = llrs[0::2]
+    llr_b = llrs[1::2]
+    pair_metrics = llr_a[:, None] * PAIR_SIGN_A + llr_b[:, None] * PAIR_SIGN_B
+
+    trellis = shared_trellis()
+    prev_state = trellis.prev_state
+    branch_pair = trellis.branch_pair
+
+    metric = np.full(N_STATES, NEG_INF)
+    metric[0] = 0.0
+    decisions = np.empty((n_steps, N_STATES), dtype=np.uint8)
+    for t in range(n_steps):
+        cand = metric[prev_state] + pair_metrics[t][branch_pair]
+        choice = cand[:, 1] > cand[:, 0]
+        decisions[t] = choice
+        metric = np.where(choice, cand[:, 1], cand[:, 0])
+        metric -= metric.max()  # keep metrics bounded
+
+    state = 0 if terminated else int(metric.argmax())
+    bits = np.empty(n_steps, dtype=np.uint8)
+    input_bit = trellis.input_bit
+    for t in range(n_steps - 1, -1, -1):
+        bits[t] = input_bit[state]
+        state = int(prev_state[state, decisions[t, state]])
+    return bits

@@ -14,9 +14,17 @@ and CoS erasures gracefully.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Tuple
 
 import numpy as np
+
+from repro.kernels.demap import (
+    axis_hard_bits,
+    axis_llrs,
+    build_axis_masks,
+    build_label_bits,
+)
 
 __all__ = ["Modulation", "MODULATIONS", "get_modulation"]
 
@@ -58,26 +66,30 @@ class Modulation:
     kmod: float
 
     # ------------------------------------------------------------------
-    # Derived tables
+    # Derived tables — computed once per modulation (the MODULATIONS
+    # singletons), not on every property access / demap call.
     # ------------------------------------------------------------------
 
-    @property
+    @cached_property
     def pam_levels(self) -> np.ndarray:
         """Normalised PAM levels indexed by axis-bit integer (first bit MSB)."""
-        return _PAM_LEVELS[self.bits_per_axis] * self.kmod
+        levels = _PAM_LEVELS[self.bits_per_axis] * self.kmod
+        levels.setflags(write=False)
+        return levels
 
-    @property
+    @cached_property
     def constellation(self) -> np.ndarray:
         """All M constellation points, indexed by the full bit label."""
         levels = self.pam_levels
         if self.name == "bpsk":
-            return levels.astype(np.complex128)
-        n = levels.size
-        i_part = np.repeat(levels, n)
-        q_part = np.tile(levels, n)
-        return i_part + 1j * q_part
+            points = levels.astype(np.complex128)
+        else:
+            n = levels.size
+            points = np.repeat(levels, n) + 1j * np.tile(levels, n)
+        points.setflags(write=False)
+        return points
 
-    @property
+    @cached_property
     def min_symbol_energy(self) -> float:
         """Energy of the weakest constellation point (average is 1.0).
 
@@ -87,7 +99,7 @@ class Modulation:
         """
         return float(np.min(np.abs(self.constellation) ** 2))
 
-    @property
+    @cached_property
     def min_distance(self) -> float:
         """Minimum Euclidean distance Dm between constellation points.
 
@@ -98,6 +110,31 @@ class Modulation:
         if levels.size == 1:
             return 2.0 * abs(levels[0])
         return float(np.min(np.diff(levels)))
+
+    @cached_property
+    def _axis_bit_masks(self) -> np.ndarray:
+        """``(bits_per_axis, n_levels)`` bool — per-bit "label is 1" masks."""
+        masks = build_axis_masks(self.pam_levels.size, self.bits_per_axis)
+        masks.setflags(write=False)
+        return masks
+
+    @cached_property
+    def _label_bits(self) -> np.ndarray:
+        """``(n_levels, bits_per_axis)`` uint8 — labels unpacked to bits."""
+        bits = build_label_bits(self.pam_levels.size, self.bits_per_axis)
+        bits.setflags(write=False)
+        return bits
+
+    def prewarm(self) -> None:
+        """Materialise every cached table (used by kernel warm-up)."""
+        _ = (
+            self.pam_levels,
+            self.constellation,
+            self.min_symbol_energy,
+            self.min_distance,
+            self._axis_bit_masks,
+            self._label_bits,
+        )
 
     # ------------------------------------------------------------------
     # Mapping
@@ -132,18 +169,12 @@ class Modulation:
     # ------------------------------------------------------------------
 
     def _axis_llrs(self, observed: np.ndarray, csi: np.ndarray) -> np.ndarray:
-        """Max-log LLRs for one PAM axis; shape (n_symbols, bits_per_axis)."""
-        levels = self.pam_levels
-        m = self.bits_per_axis
-        d2 = (observed[:, None] - levels[None, :]) ** 2  # (n, L)
-        labels = np.arange(levels.size)
-        llrs = np.empty((observed.size, m))
-        for bit in range(m):
-            is_one = ((labels >> (m - 1 - bit)) & 1).astype(bool)
-            d0 = d2[:, ~is_one].min(axis=1)
-            d1 = d2[:, is_one].min(axis=1)
-            llrs[:, bit] = (d1 - d0) * csi
-        return llrs
+        """Max-log LLRs for one PAM axis; shape (n_symbols, bits_per_axis).
+
+        Delegates to the demap kernel over the precomputed level/bit-mask
+        tables — no per-call label/mask rebuild.
+        """
+        return axis_llrs(observed, csi, self.pam_levels, self._axis_bit_masks)
 
     def demap_soft(self, symbols: np.ndarray, csi: np.ndarray | float = 1.0) -> np.ndarray:
         """Per-bit LLRs (positive ⇒ bit 0) for equalised ``symbols``.
@@ -164,18 +195,10 @@ class Modulation:
     def demap_hard(self, symbols: np.ndarray) -> np.ndarray:
         """Nearest-point hard decisions, returned as a bit array."""
         symbols = np.asarray(symbols, dtype=np.complex128)
-        levels = self.pam_levels
-        m = self.bits_per_axis
-
-        def axis_bits(observed: np.ndarray) -> np.ndarray:
-            idx = np.abs(observed[:, None] - levels[None, :]).argmin(axis=1)
-            shifts = np.arange(m - 1, -1, -1)
-            return ((idx[:, None] >> shifts) & 1).astype(np.uint8)
-
-        i_bits = axis_bits(symbols.real)
+        i_bits = axis_hard_bits(symbols.real, self.pam_levels, self._label_bits)
         if self.name == "bpsk":
             return i_bits.reshape(-1)
-        q_bits = axis_bits(symbols.imag)
+        q_bits = axis_hard_bits(symbols.imag, self.pam_levels, self._label_bits)
         return np.concatenate([i_bits, q_bits], axis=1).reshape(-1)
 
 

@@ -42,6 +42,11 @@ DEFAULT_SCRAMBLER_STATE = 0b1011101
 _SIGNAL_BITS = 24
 _MAX_LENGTH = (1 << 12) - 1
 
+#: Shared decoder instance — stateless across calls (the trellis tables
+#: are a process singleton), so SIGNAL and DATA decoding reuse it instead
+#: of constructing a fresh ``ViterbiDecoder`` per packet.
+_VITERBI = ViterbiDecoder(terminated=True)
+
 
 @dataclass(frozen=True)
 class SignalField:
@@ -102,7 +107,7 @@ def signal_llrs_to_field(llrs: np.ndarray) -> Optional[SignalField]:
     """Decode the SIGNAL symbol from its 48 per-bit LLRs."""
     rate = _signal_rate()
     deinterleaved = deinterleave(np.asarray(llrs, dtype=np.float64), rate)
-    bits = ViterbiDecoder(terminated=True).decode(deinterleaved)
+    bits = _VITERBI.decode(deinterleaved)
     return decode_signal_bits(bits)
 
 
@@ -168,7 +173,7 @@ def decode_data_field(llrs: np.ndarray, rate: PhyRate, n_octets: int) -> Decoded
     """
     deinterleaved = deinterleave(np.asarray(llrs, dtype=np.float64), rate)
     full = depuncture(deinterleaved, rate.code_rate, fill=0.0)
-    decoded = ViterbiDecoder(terminated=True).decode(full)
+    decoded = _VITERBI.decode(full)
     # Descramble: the first 7 SERVICE bits were zero before scrambling, so
     # they reveal the transmitter's scrambler state.  A badly corrupted
     # frame may present an unreachable (all-zero) pattern; the frame is

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels import backend_name
 from repro.obs.trace import span
 from repro.phy.frames import Mpdu, parse_mpdu
 from repro.phy.modulation import get_modulation
@@ -235,6 +236,7 @@ class Receiver:
         eq. (7).
         """
         with span("phy.rx.decode") as sp:
+            sp.set(kernel_backend=backend_name())
             result = self._decode(obs, erasure_mask)
             if result.signal is not None:
                 sp.set(rate_mbps=result.signal.rate.mbps, crc_ok=result.ok)

@@ -5,13 +5,30 @@ pseudo-random sequence that is XORed onto the data bits.  The same block
 descrambles (XOR is an involution).  The sequence generated from the
 all-ones state also serves as the *pilot polarity sequence* p_n used by
 the OFDM modulator.
+
+The per-bit register walk lives in :mod:`repro.kernels.scramble`; because
+the LFSR is maximal-length, every sequence is a tiling of a cached 127-bit
+period, so scrambling is a single vectorized XOR.  The original bit-by-bit
+walk is kept as :func:`scrambler_sequence_reference` — the test oracle the
+vectorized path is checked against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Scrambler", "scrambler_sequence", "pilot_polarity_sequence"]
+from repro.kernels.scramble import (
+    prbs_sequence,
+    prbs_sequence_reference,
+    prbs_state_table,
+)
+
+__all__ = [
+    "Scrambler",
+    "scrambler_sequence",
+    "scrambler_sequence_reference",
+    "pilot_polarity_sequence",
+]
 
 
 def scrambler_sequence(n: int, state: int = 0b1111111) -> np.ndarray:
@@ -19,17 +36,14 @@ def scrambler_sequence(n: int, state: int = 0b1111111) -> np.ndarray:
 
     ``state`` packs the shift register x1..x7 with x7 in the MSB; the
     output bit of each step is x7 XOR x4 and is also fed back into x1.
+    Served from the cached 127-bit period (the LFSR is maximal-length).
     """
-    if not 0 < state < 128:
-        raise ValueError("scrambler state must be a non-zero 7-bit value")
-    out = np.empty(n, dtype=np.uint8)
-    for i in range(n):
-        x7 = (state >> 6) & 1
-        x4 = (state >> 3) & 1
-        bit = x7 ^ x4
-        state = ((state << 1) & 0b1111111) | bit
-        out[i] = bit
-    return out
+    return prbs_sequence(n, state)
+
+
+def scrambler_sequence_reference(n: int, state: int = 0b1111111) -> np.ndarray:
+    """The original bit-by-bit LFSR walk — kept as the test oracle."""
+    return prbs_sequence_reference(n, state)
 
 
 class Scrambler:
@@ -57,19 +71,18 @@ class Scrambler:
         """Recover the initial state from the first 7 scrambled SERVICE bits.
 
         The SERVICE field starts with 7 zero bits, so the scrambled bits
-        *are* the LFSR output; running the recursion backwards is
-        unnecessary because 7 consecutive outputs determine the state.
+        *are* the LFSR output; 7 consecutive outputs determine the state.
+        One vectorized match against the precomputed 127x7 state table
+        replaces the old per-state brute-force sequence builds.
         """
         bits = np.asarray(scrambled_service_prefix, dtype=np.uint8)
         if bits.size < 7:
             raise ValueError("need at least 7 scrambled service bits")
-        # Outputs o0..o6 with register x1..x7: o_i = x7 ^ x4 and the state
-        # shifts left absorbing o_i.  Brute-force over the 127 states is
-        # simplest and exact.
-        for state in range(1, 128):
-            if np.array_equal(scrambler_sequence(7, state), bits[:7]):
-                return state
-        raise ValueError("no scrambler state matches the service bits")
+        matches = np.all(prbs_state_table() == bits[:7], axis=1)
+        hit = np.flatnonzero(matches)
+        if hit.size == 0:
+            raise ValueError("no scrambler state matches the service bits")
+        return int(hit[0]) + 1
 
 
 def pilot_polarity_sequence(n_symbols: int) -> np.ndarray:
@@ -78,7 +91,5 @@ def pilot_polarity_sequence(n_symbols: int) -> np.ndarray:
     Clause 18.3.5.10: p_n is the cyclic extension of the 127-bit scrambler
     sequence seeded with all ones, mapped 0 -> +1 and 1 -> -1.
     """
-    base = scrambler_sequence(127, 0b1111111)
-    reps = -(-n_symbols // 127)
-    seq = np.tile(base, reps)[:n_symbols]
+    seq = scrambler_sequence(n_symbols, 0b1111111)
     return 1.0 - 2.0 * seq.astype(np.float64)

@@ -9,7 +9,7 @@ whose MSB is therefore b, which is what traceback exploits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -44,13 +44,17 @@ class Trellis:
     next_state / output_pair:
         forward tables indexed ``[state, input_bit]``, used by tests and by
         the encoder cross-check.
+
+    All five tables are required constructor arguments — a half-built
+    trellis (the old ``default=None`` fields) cannot exist; use
+    :meth:`build` or :func:`shared_trellis`.
     """
 
-    prev_state: np.ndarray = field(default=None)
-    branch_pair: np.ndarray = field(default=None)
-    input_bit: np.ndarray = field(default=None)
-    next_state: np.ndarray = field(default=None)
-    output_pair: np.ndarray = field(default=None)
+    prev_state: np.ndarray
+    branch_pair: np.ndarray
+    input_bit: np.ndarray
+    next_state: np.ndarray
+    output_pair: np.ndarray
 
     @staticmethod
     def build() -> "Trellis":

@@ -14,14 +14,15 @@ of bit metrics" (§III-E).
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import numpy as np
 
+from repro.kernels import dispatch as _kernels
 from repro.obs.trace import span
-from repro.phy.trellis import N_STATES, shared_trellis
+from repro.phy.trellis import shared_trellis
 
 __all__ = ["ViterbiDecoder", "hard_bits_to_llrs"]
-
-_NEG_INF = -1e18
 
 
 def hard_bits_to_llrs(bits: np.ndarray, confidence: float = 1.0) -> np.ndarray:
@@ -39,6 +40,12 @@ class ViterbiDecoder:
         If True (the 802.11a case — 6 tail zeros flush the encoder) the
         survivor ending in state 0 is traced back; otherwise the best
         final state is used.
+
+    The actual add-compare-select recursion is served by the active
+    compute-kernel backend (:mod:`repro.kernels`): blocked NumPy by
+    default, numba JIT when installed, selectable via
+    ``REPRO_KERNEL_BACKEND``.  All backends share identical decode
+    semantics (see the dispatch module's exactness contract).
     """
 
     def __init__(self, terminated: bool = True):
@@ -57,42 +64,21 @@ class ViterbiDecoder:
         n_steps = llrs.size // 2
         if n_steps == 0:
             return np.zeros(0, dtype=np.uint8)
+        backend = _kernels.get_backend()
         with span("phy.viterbi") as sp:
-            sp.set(n_steps=n_steps)
-            return self._decode_steps(llrs, n_steps)
+            sp.set(n_steps=n_steps, backend=backend.name)
+            return backend.viterbi_decode(llrs, self.terminated)
 
-    def _decode_steps(self, llrs: np.ndarray, n_steps: int) -> np.ndarray:
-        # Metric of hypothesis pair p = 2*A + B at each step: +LLR for an
-        # expected 0, -LLR for an expected 1 (correlation metric).
-        llr_a = llrs[0::2]
-        llr_b = llrs[1::2]
-        sign_a = np.array([1.0, 1.0, -1.0, -1.0])
-        sign_b = np.array([1.0, -1.0, 1.0, -1.0])
-        pair_metrics = llr_a[:, None] * sign_a + llr_b[:, None] * sign_b
+    def decode_many(self, llrs_list: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Decode a batch of codewords in one call (mixed lengths allowed).
 
-        trellis = self._trellis
-        prev_state = trellis.prev_state  # (64, 2)
-        branch_pair = trellis.branch_pair  # (64, 2)
-
-        # Path metrics, starting from the all-zero encoder state.
-        metric = np.full(N_STATES, _NEG_INF)
-        metric[0] = 0.0
-        decisions = np.empty((n_steps, N_STATES), dtype=np.uint8)
-
-        for t in range(n_steps):
-            cand = metric[prev_state] + pair_metrics[t][branch_pair]
-            choice = cand[:, 1] > cand[:, 0]
-            decisions[t] = choice
-            metric = np.where(choice, cand[:, 1], cand[:, 0])
-            metric -= metric.max()  # keep metrics bounded
-
-        state = 0 if self.terminated else int(metric.argmax())
-        bits = np.empty(n_steps, dtype=np.uint8)
-        input_bit = trellis.input_bit
-        for t in range(n_steps - 1, -1, -1):
-            bits[t] = input_bit[state]
-            state = int(prev_state[state, decisions[t, state]])
-        return bits
+        Bit-for-bit identical to looping :meth:`decode`; the batch entry
+        point amortizes dispatch overhead and lets the numba backend run
+        whole equal-length groups inside one compiled loop.
+        """
+        with span("phy.viterbi.batch") as sp:
+            sp.set(n_codewords=len(llrs_list))
+            return _kernels.decode_many(llrs_list, self.terminated)
 
     def decode_hard(self, coded_bits: np.ndarray) -> np.ndarray:
         """Convenience: hard-decision decoding of a rate-1/2 bit stream."""

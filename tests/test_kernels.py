@@ -1,0 +1,433 @@
+"""Backend-equivalence suite for the :mod:`repro.kernels` layer.
+
+Every Viterbi backend (blocked NumPy, per-step reference, numba JIT when
+installed) must produce bit-identical output to the pure-Python scalar
+oracle — including on ties.  Strict equality is asserted on
+exact-arithmetic inputs (integer-scaled LLRs, hard decisions, erasures),
+per the exactness contract in :mod:`repro.kernels.dispatch`; generic
+float behaviour is pinned end-to-end by CRC-verified golden packets on
+all eight 802.11a rates, with and without erasure masks.
+
+The demap / scramble / energy kernels are shared by all backends, so
+they are checked once against their scalar oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import IndoorChannel
+from repro.cos.energy import EnergyDetector
+from repro.cos.evd import ErasureViterbiDecoder
+from repro.kernels import (
+    available_backends,
+    decode_many,
+    prbs_sequence,
+    prbs_state_table,
+    silence_energies,
+    silence_mask,
+    use_backend,
+    warmup,
+)
+from repro.kernels import cext, dispatch
+from repro.kernels.numba_backend import HAVE_NUMBA
+from repro.kernels.oracle import (
+    demap_hard_oracle,
+    scramble_oracle,
+    viterbi_decode_oracle,
+)
+from repro.kernels.tables import MAX_BLOCK
+from repro.kernels.viterbi_numpy import decode_blocked, decode_reference
+from repro.phy import RATE_TABLE, Receiver, Transmitter, build_mpdu
+from repro.phy.convcode import conv_encode
+from repro.phy.modulation import MODULATIONS
+from repro.phy.params import N_DATA_SUBCARRIERS
+from repro.phy.scrambler import (
+    Scrambler,
+    scrambler_sequence,
+    scrambler_sequence_reference,
+)
+from repro.phy.viterbi import ViterbiDecoder, hard_bits_to_llrs
+
+needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+needs_cc = pytest.mark.skipif(
+    not cext.compiler_available(), reason="no C compiler on PATH"
+)
+
+BACKENDS = [
+    "numpy",
+    "reference",
+    pytest.param("numba", marks=needs_numba),
+    pytest.param("cext", marks=needs_cc),
+]
+
+
+def _integer_llrs(rng, n_info: int, erasure_frac: float = 0.25) -> np.ndarray:
+    """Exact-arithmetic LLR battery: integer scales + zeroed erasures.
+
+    Integer-valued LLRs keep every partial path metric integral, so the
+    exactness contract guarantees identical output (ties included) from
+    every backend regardless of summation order.
+    """
+    info = rng.integers(0, 2, n_info, dtype=np.uint8)
+    coded = conv_encode(np.concatenate([info, np.zeros(6, dtype=np.uint8)]))
+    llrs = hard_bits_to_llrs(coded).astype(np.float64)
+    llrs *= rng.integers(0, 4, llrs.size)  # scale 0 doubles as an erasure
+    erase = rng.random(llrs.size) < erasure_frac
+    llrs[erase] = 0.0
+    return llrs
+
+
+# ---------------------------------------------------------------------------
+# Viterbi: every backend vs the scalar oracle
+# ---------------------------------------------------------------------------
+
+
+class TestViterbiBackendsVsOracle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n_info", [1, 3, 17, 120])
+    def test_integer_llr_battery(self, rng, backend, n_info):
+        for _ in range(5):
+            llrs = _integer_llrs(rng, n_info)
+            expected = viterbi_decode_oracle(llrs)
+            with use_backend(backend) as be:
+                got = be.viterbi_decode(llrs, True)
+            assert np.array_equal(got, expected), backend
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_erasure_input(self, backend):
+        """All metrics zero — ties at every single step must still agree."""
+        llrs = np.zeros(2 * 50)
+        expected = viterbi_decode_oracle(llrs)
+        with use_backend(backend) as be:
+            got = be.viterbi_decode(llrs, True)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unterminated(self, rng, backend):
+        info = rng.integers(0, 2, 90, dtype=np.uint8)
+        llrs = hard_bits_to_llrs(conv_encode(info)).astype(np.float64)
+        expected = viterbi_decode_oracle(llrs, terminated=False)
+        with use_backend(backend) as be:
+            got = be.viterbi_decode(llrs, False)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_stream(self, backend):
+        with use_backend(backend) as be:
+            assert be.viterbi_decode(np.zeros(0), True).size == 0
+
+    @pytest.mark.parametrize("block", range(1, MAX_BLOCK + 1))
+    def test_every_block_size_matches_reference(self, rng, block):
+        """Blocked ACS is exact for every fusion depth, incl. remainders."""
+        for n_info in (1, 2, block, block + 1, 7 * block + 3, 100):
+            llrs = _integer_llrs(rng, n_info)
+            assert np.array_equal(
+                decode_blocked(llrs, True, block=block),
+                decode_reference(llrs, True),
+            ), f"block={block} n_info={n_info}"
+
+    def test_noisy_hard_decisions(self, rng):
+        """Hard ±1 LLRs with channel errors: exact inputs, every backend."""
+        info = rng.integers(0, 2, 200, dtype=np.uint8)
+        coded = conv_encode(np.concatenate([info, np.zeros(6, dtype=np.uint8)]))
+        corrupted = coded.copy()
+        corrupted[::45] ^= 1
+        llrs = hard_bits_to_llrs(corrupted).astype(np.float64)
+        expected = viterbi_decode_oracle(llrs)
+        for backend in available_backends():
+            with use_backend(backend) as be:
+                assert np.array_equal(be.viterbi_decode(llrs, True), expected)
+
+
+class TestDecodeMany:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_equals_looped_decode(self, rng, backend):
+        """Property: batched decode == looping the single-codeword kernel."""
+        codewords = [
+            _integer_llrs(rng, n) for n in (5, 40, 40, 7, 40, 128, 5)
+        ]
+        with use_backend(backend) as be:
+            batched = decode_many(codewords)
+            looped = [be.viterbi_decode(cw, True) for cw in codewords]
+        assert len(batched) == len(looped)
+        for got, expected in zip(batched, looped):
+            assert np.array_equal(got, expected)
+
+    def test_decoder_class_batch_entry_point(self, rng):
+        codewords = [_integer_llrs(rng, n) for n in (12, 12, 30)]
+        dec = ViterbiDecoder(terminated=True)
+        batched = dec.decode_many(codewords)
+        for got, cw in zip(batched, codewords):
+            assert np.array_equal(got, dec.decode(cw))
+
+    def test_empty_batch(self):
+        assert decode_many([]) == []
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            decode_many([np.zeros(3)])
+
+    @needs_numba
+    def test_numba_batch_kernel_matches_oracle(self, rng):
+        """The true JIT batch loop (equal lengths) against the oracle."""
+        codewords = [_integer_llrs(rng, 64) for _ in range(6)]
+        with use_backend("numba") as be:
+            batched = be.viterbi_decode_batch(np.stack(codewords), True)
+        for row, cw in zip(batched, codewords):
+            assert np.array_equal(row, viterbi_decode_oracle(cw))
+
+
+# ---------------------------------------------------------------------------
+# Backend dispatch semantics
+# ---------------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_available_backends_contains_core(self):
+        names = available_backends()
+        assert "numpy" in names and "reference" in names
+        assert ("numba" in names) == HAVE_NUMBA
+        assert ("cext" in names) == cext.compiler_available()
+
+    def test_use_backend_restores_previous(self):
+        before = dispatch.backend_name()
+        with use_backend("reference") as be:
+            assert be.name == "reference"
+            assert dispatch.backend_name() == "reference"
+        assert dispatch.backend_name() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            dispatch.set_backend("fortran")
+        # The failed request must not have clobbered the active backend.
+        assert dispatch.backend_name() in available_backends()
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="fallback only fires without numba")
+    def test_numba_request_falls_back_to_numpy(self):
+        before = dispatch.backend_name()
+        try:
+            assert dispatch.set_backend("numba").name == "numpy"
+        finally:
+            dispatch.set_backend(before)
+
+    def test_env_flag_resolution(self, monkeypatch):
+        before = dispatch.backend_name()
+        try:
+            monkeypatch.setenv(dispatch.ENV_FLAG, "reference")
+            assert dispatch.set_backend(None).name == "reference"
+            monkeypatch.setenv(dispatch.ENV_FLAG, "auto")
+            expected = next(
+                n for n in dispatch._AUTO_ORDER if n in available_backends()
+            )
+            assert dispatch.set_backend(None).name == expected
+        finally:
+            dispatch.set_backend(before)
+
+    def test_block_env_flag_out_of_range(self, monkeypatch):
+        monkeypatch.setenv(dispatch.BLOCK_FLAG, "9")
+        with use_backend("numpy") as be:
+            with pytest.raises(ValueError, match=dispatch.BLOCK_FLAG):
+                be.viterbi_decode(np.zeros(4), True)
+
+    def test_warmup_is_idempotent_and_names_backend(self):
+        assert warmup() == dispatch.backend_name()
+        assert warmup() == dispatch.backend_name()
+
+
+# ---------------------------------------------------------------------------
+# Scramble kernel vs bit-loop oracle
+# ---------------------------------------------------------------------------
+
+
+class TestScrambleKernel:
+    @pytest.mark.parametrize("n", [0, 1, 7, 126, 127, 128, 255, 1000])
+    @pytest.mark.parametrize("state", [0b1111111, 0b1011101, 1, 64])
+    def test_sequence_matches_reference(self, n, state):
+        assert np.array_equal(
+            scrambler_sequence(n, state), scrambler_sequence_reference(n, state)
+        )
+
+    def test_scramble_matches_oracle(self, rng):
+        bits = rng.integers(0, 2, 733, dtype=np.uint8)
+        for state in (0b1011101, 0b0000001, 0b1111111):
+            got = Scrambler(state).scramble(bits)
+            assert np.array_equal(got, scramble_oracle(bits, state))
+
+    def test_state_table_rows_are_prbs_prefixes(self):
+        table = prbs_state_table()
+        assert table.shape == (127, 7)
+        for state in (1, 2, 87, 127):
+            assert np.array_equal(table[state - 1], prbs_sequence(7, state))
+
+    def test_recover_state_roundtrip(self):
+        for state in (1, 45, 93, 127):
+            prefix = prbs_sequence(16, state)  # scrambled zero-bits = keystream
+            assert Scrambler.recover_state(prefix[:7]) == state
+
+    def test_sequence_period_is_127(self):
+        seq = prbs_sequence(3 * 127, 0b1111111)
+        assert np.array_equal(seq[:127], seq[127:254])
+        assert np.array_equal(seq[:127], seq[254:])
+
+
+# ---------------------------------------------------------------------------
+# Demap kernel vs scalar oracle
+# ---------------------------------------------------------------------------
+
+
+class TestDemapKernel:
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_hard_decisions_match_oracle(self, rng, name):
+        mod = MODULATIONS[name]
+        symbols = (rng.normal(size=256) + 1j * rng.normal(size=256)) * 0.8
+        got = mod.demap_hard(symbols)
+        expected = demap_hard_oracle(symbols, mod.pam_levels, name != "bpsk")
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_map_demap_roundtrip(self, rng, name):
+        mod = MODULATIONS[name]
+        bits = rng.integers(0, 2, 96 * mod.bits_per_symbol, dtype=np.uint8)
+        assert np.array_equal(mod.demap_hard(mod.map_bits(bits)), bits)
+
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_soft_signs_agree_with_hard(self, rng, name):
+        """Max-log LLR sign (positive ⇒ bit 0) must match the hard slicer."""
+        mod = MODULATIONS[name]
+        symbols = mod.map_bits(
+            rng.integers(0, 2, 64 * mod.bits_per_symbol, dtype=np.uint8)
+        ) + 0.05 * (rng.normal(size=64) + 1j * rng.normal(size=64))
+        llrs = mod.demap_soft(symbols)
+        hard = mod.demap_hard(symbols)
+        decided = llrs != 0.0
+        assert np.array_equal((llrs[decided] < 0), hard[decided].astype(bool))
+
+    @pytest.mark.parametrize("name", sorted(MODULATIONS))
+    def test_cached_tables_are_immutable(self, name):
+        mod = MODULATIONS[name]
+        for table in (mod.pam_levels, mod.constellation, mod._axis_bit_masks):
+            with pytest.raises((ValueError, RuntimeError)):
+                table[0] = 0
+
+
+# ---------------------------------------------------------------------------
+# Energy kernel vs naive computation
+# ---------------------------------------------------------------------------
+
+
+class TestEnergyKernel:
+    def test_energies_match_naive(self, rng):
+        grid = rng.normal(size=(12, N_DATA_SUBCARRIERS)) + 1j * rng.normal(
+            size=(12, N_DATA_SUBCARRIERS)
+        )
+        control = np.array([0, 5, 17, 40], dtype=np.int64)
+        got = silence_energies(grid, control)
+        expected = np.abs(grid[:, control]) ** 2
+        assert np.allclose(got, expected, rtol=0, atol=1e-12)
+
+    def test_mask_scalar_and_per_subcarrier_thresholds(self, rng):
+        energies = rng.exponential(size=(9, 4))
+        assert np.array_equal(silence_mask(energies, 0.7), energies < 0.7)
+        per_sc = np.array([0.1, 0.5, 1.0, 2.0])
+        assert np.array_equal(silence_mask(energies, per_sc), energies < per_sc)
+
+    def test_detector_end_to_end_equals_naive_loop(self, rng):
+        grid = 0.2 * (
+            rng.normal(size=(8, N_DATA_SUBCARRIERS))
+            + 1j * rng.normal(size=(8, N_DATA_SUBCARRIERS))
+        )
+        grid[3, 10] = 0.001  # a clear silence cell
+        control = [4, 10, 23]
+        det = EnergyDetector(margin_db=7.0, adaptive=False)
+        report = det.detect(grid, control, noise_var=0.01)
+        naive = np.zeros(grid.shape, dtype=bool)
+        for t in range(grid.shape[0]):
+            for c in control:
+                naive[t, c] = abs(grid[t, c]) ** 2 < report.threshold
+        assert np.array_equal(report.mask, naive)
+        assert report.mask[3, 10]
+
+
+# ---------------------------------------------------------------------------
+# CRC-verified golden packets: all 8 rates x backends x {plain, erasures}
+# ---------------------------------------------------------------------------
+
+_GOLDEN_PAYLOAD = bytes(range(120))
+_GOLDEN_CACHE: dict = {}
+
+
+def _golden_observation(mbps: int):
+    """One high-SNR received packet per rate, observed once and shared."""
+    if mbps not in _GOLDEN_CACHE:
+        rate = RATE_TABLE[mbps]
+        channel = IndoorChannel.position("C", snr_db=30.0, seed=3 + mbps)
+        frame = Transmitter().transmit(build_mpdu(_GOLDEN_PAYLOAD), rate)
+        rx = Receiver()
+        obs = rx.observe(channel.transmit(frame.waveform))
+        assert obs is not None and obs.signal is not None
+        _GOLDEN_CACHE[mbps] = (rx, obs)
+    return _GOLDEN_CACHE[mbps]
+
+
+class TestGoldenPackets:
+    @pytest.mark.parametrize("mbps", sorted(RATE_TABLE))
+    @pytest.mark.parametrize("with_erasures", [False, True])
+    def test_all_rates_crc_ok_and_backends_agree(self, mbps, with_erasures):
+        rx, obs = _golden_observation(mbps)
+        mask = None
+        if with_erasures:
+            n_symbols = obs.signal.n_data_symbols
+            mask = np.zeros((n_symbols, N_DATA_SUBCARRIERS), dtype=bool)
+            # Erase two full control subcarriers on alternating symbols —
+            # well inside what EVD absorbs at 30 dB SNR.
+            mask[::2, 11] = True
+            mask[1::2, 35] = True
+        psdus = {}
+        for backend in available_backends():
+            with use_backend(backend):
+                result = rx.decode(obs, erasure_mask=mask)
+            assert result.ok, f"{backend}: CRC failed at {mbps} Mbps"
+            assert result.mpdu.payload == _GOLDEN_PAYLOAD
+            psdus[backend] = bytes(result.decoded.psdu)
+        reference = psdus.pop("reference")
+        for backend, psdu in psdus.items():
+            assert psdu == reference, f"{backend} != reference at {mbps} Mbps"
+
+    def test_evd_decoder_backends_agree(self, rng):
+        """ErasureViterbiDecoder batch path recovers the true bits everywhere.
+
+        The grids carry *valid* codewords (encode → interleave → map), so
+        the ML path has a decisive margin and every backend must land on
+        the same — correct — information bits, erasures and all.
+        """
+        from repro.phy.convcode import puncture
+        from repro.phy.interleaver import interleave
+
+        rate = RATE_TABLE[24]  # 16-QAM, rate 1/2
+        dec = ErasureViterbiDecoder(rate)
+        mod = MODULATIONS[rate.modulation]
+        n_symbols = 6
+        n_cbps = N_DATA_SUBCARRIERS * mod.bits_per_symbol
+        n_info = n_symbols * n_cbps // 2  # rate-1/2: half the coded bits
+        grids, masks, truths = [], [], []
+        for i in range(3):
+            info = np.concatenate(
+                [rng.integers(0, 2, n_info - 6, dtype=np.uint8),
+                 np.zeros(6, dtype=np.uint8)]
+            )
+            coded = puncture(conv_encode(info), rate.code_rate)
+            grid = mod.map_bits(interleave(coded, rate)).reshape(
+                n_symbols, N_DATA_SUBCARRIERS
+            )
+            mask = np.zeros((n_symbols, N_DATA_SUBCARRIERS), dtype=bool)
+            mask[i % n_symbols, ::7] = True
+            grids.append(grid)
+            masks.append(mask)
+            truths.append(info)
+        for backend in available_backends():
+            with use_backend(backend):
+                rows = dec.decode_many(grids, erasure_masks=masks)
+            for got, expected in zip(rows, truths):
+                assert np.array_equal(got, expected), backend
