@@ -16,6 +16,15 @@ Commands
     record is written as JSONL; with ``--metrics-out metrics.prom`` the
     metrics registry is exported (Prometheus text, or JSON when the path
     ends in ``.json``).
+``net run <scenario> [--control cos|explicit] [--trials N] [--workers N]``
+    Run a multi-node scenario (a ``ScenarioSpec`` JSON file or a
+    built-in name — ``net list`` shows those) on the event-driven
+    spatial simulator and print per-node goodput, delivery, control
+    latency, and fairness stats.  ``--json PATH`` exports the
+    mean-over-trials summary (``-`` for stdout); ``--trace-out`` /
+    ``--metrics-out`` work as for ``link``.  Trials go through the
+    deterministic engine: serial and ``--workers N`` results are
+    bit-for-bit identical.
 ``obs summarize trace.jsonl``
     Analyse a recorded trace offline: per-stage latency percentiles,
     exchange span coverage, and the failure-cause breakdown.
@@ -59,6 +68,45 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--workers", type=int, default=None, metavar="N",
                      help="trial-engine worker processes (0 = serial; "
                           "default: REPRO_WORKERS or serial)")
+    exp.add_argument("--payload-octets", type=int, default=None, metavar="B",
+                     help="network stage: data payload per frame")
+    exp.add_argument("--data-rate-mbps", type=int, default=None, metavar="R",
+                     help="network stage: 802.11a data rate")
+    exp.add_argument("--packets-per-station", type=int, default=None, metavar="P",
+                     help="network stage: frames each station offers")
+    exp.add_argument("--network-backend", choices=["fast", "net"], default=None,
+                     help="network stage: contention model (fast = slotted "
+                          "DCF, net = spatial SINR simulator)")
+
+    net = sub.add_parser(
+        "net", help="run multi-node WLAN scenarios (repro.net)"
+    )
+    net_sub = net.add_subparsers(dest="net_command", required=True)
+    net_list = net_sub.add_parser("list", help="list built-in scenarios")
+    net_run = net_sub.add_parser(
+        "run", help="run a scenario file or built-in by name"
+    )
+    net_run.add_argument(
+        "scenario",
+        help="path to a ScenarioSpec JSON file, or a built-in name "
+             "(see 'repro net list')",
+    )
+    net_run.add_argument("--control", choices=["cos", "explicit"], default=None,
+                         help="override the scenario's control scheme")
+    net_run.add_argument("--trials", type=int, default=1, metavar="N",
+                         help="independent trials (engine sweep)")
+    net_run.add_argument("--seed", type=int, default=0)
+    net_run.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="trial-engine worker processes (0 = serial; "
+                              "default: REPRO_WORKERS or serial)")
+    net_run.add_argument("--json", default=None, metavar="PATH",
+                         help="write the mean-over-trials summary as JSON "
+                              "('-' for stdout)")
+    net_run.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write span JSONL trace to PATH")
+    net_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="export the metrics registry (Prometheus text; "
+                              "JSON if PATH ends with .json)")
 
     link = sub.add_parser("link", help="run a closed-loop CoS session")
     link.add_argument("--snr", type=float, default=15.0, help="measured SNR in dB")
@@ -139,13 +187,121 @@ def _cmd_info() -> int:
     return 0
 
 
-def _cmd_experiments(figures: List[str], workers: Optional[int]) -> int:
+def _cmd_experiments(args) -> int:
     from repro.experiments.runner import main as run_experiments
 
-    argv = list(figures)
-    if workers is not None:
-        argv += ["--workers", str(workers)]
+    argv = list(args.figures)
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    for flag, value in (
+        ("--payload-octets", args.payload_octets),
+        ("--data-rate-mbps", args.data_rate_mbps),
+        ("--packets-per-station", args.packets_per_station),
+        ("--network-backend", args.network_backend),
+    ):
+        if value is not None:
+            argv += [flag, str(value)]
     return run_experiments(argv)
+
+
+def _cmd_net(args) -> int:
+    import json
+    import os
+
+    import repro.obs as obs
+    from repro.experiments.common import print_table
+    from repro.net import (
+        BUILTIN_SCENARIOS,
+        ScenarioSpec,
+        builtin_scenario,
+        run_scenario_sweep,
+        summarize_results,
+    )
+
+    log = logging.getLogger("repro.cli")
+
+    if args.net_command == "list":
+        print_table(
+            ["scenario", "description"],
+            [
+                (name, (factory.__doc__ or "").strip().splitlines()[0])
+                for name, factory in sorted(BUILTIN_SCENARIOS.items())
+            ],
+            title="Built-in repro.net scenarios",
+        )
+        return 0
+
+    if args.trials < 1:
+        log.error("--trials must be at least 1 (got %d)", args.trials)
+        return 2
+    if os.path.exists(args.scenario):
+        try:
+            spec = ScenarioSpec.load(args.scenario)
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as exc:
+            log.error("invalid scenario file %s: %s", args.scenario, exc)
+            return 2
+    elif args.scenario in BUILTIN_SCENARIOS:
+        spec = builtin_scenario(args.scenario)
+    else:
+        log.error(
+            "%r is neither a scenario file nor a built-in (see 'repro net list')",
+            args.scenario,
+        )
+        return 2
+    if args.control is not None:
+        spec = spec.with_control(args.control)
+
+    session = obs.configure(trace_out=args.trace_out) if args.trace_out else None
+    try:
+        results = run_scenario_sweep(
+            spec, n_trials=args.trials, seed=args.seed, workers=args.workers
+        )
+    finally:
+        if session is not None:
+            session.close()
+            log.info("trace written to %s", args.trace_out)
+
+    summary = summarize_results(results)
+    print_table(
+        ["node", "goodput (Mbps)", "delivery ratio", "completion",
+         "ctrl latency (us)", "mean SINR (dB)"],
+        [
+            (
+                name,
+                stats["goodput_mbps"],
+                stats["delivery_ratio"],
+                stats["completion_ratio"],
+                stats["mean_control_latency_us"],
+                stats["mean_sinr_db"],
+            )
+            for name, stats in summary["per_node"].items()
+        ],
+        title=(
+            f"Scenario {summary['scenario']} [{summary['control']} control, "
+            f"{summary['n_trials']} trial(s)] — aggregate "
+            f"{summary['aggregate_goodput_mbps']:.3f} Mbps, fairness "
+            f"{summary['fairness']:.3f}, collisions {summary['collisions']:.1f}, "
+            f"ctrl airtime {summary['control_airtime_fraction'] * 100:.2f} %"
+        ),
+    )
+    if args.json:
+        text = json.dumps(summary, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            log.info("summary written to %s", args.json)
+    if args.metrics_out:
+        registry = obs.get_registry()
+        if args.metrics_out.endswith(".json"):
+            text = registry.to_json()
+        else:
+            text = registry.to_prometheus()
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        log.info("metrics written to %s", args.metrics_out)
+    return 0
 
 
 def _cmd_link(args) -> int:
@@ -214,9 +370,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiments":
-        return _cmd_experiments(args.figures, args.workers)
+        return _cmd_experiments(args)
     if args.command == "link":
         return _cmd_link(args)
+    if args.command == "net":
+        return _cmd_net(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "report":

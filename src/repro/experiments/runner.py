@@ -35,7 +35,8 @@ from repro.obs.trace import timed_span
 log = logging.getLogger("repro.experiments.runner")
 
 
-def _stages():
+def _stages(network_kwargs=None):
+    network_kwargs = network_kwargs or {}
     return [
         ("fig2", lambda w: fig2.print_result(fig2.run(workers=w))),
         ("fig3", lambda w: fig3.print_result(fig3.run(workers=w))),
@@ -48,7 +49,8 @@ def _stages():
             ablations.print_placement(ablations.run_placement(workers=w)),
             ablations.print_evd(ablations.run_evd(workers=w)),
         )),
-        ("network", lambda w: network.print_result(network.run(workers=w))),
+        ("network", lambda w: network.print_result(
+            network.run(workers=w, **network_kwargs))),
         ("waterfall", lambda w: waterfall.print_result(waterfall.run(workers=w))),
     ]
 
@@ -67,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trial-engine worker processes (0 = serial; "
              "default: REPRO_WORKERS or serial)",
     )
+    net = parser.add_argument_group("network stage")
+    net.add_argument("--payload-octets", type=int, default=1024, metavar="B",
+                     help="data payload per frame in the network stage")
+    net.add_argument("--data-rate-mbps", type=int, default=24, metavar="R",
+                     help="802.11a data rate in the network stage")
+    net.add_argument("--packets-per-station", type=int, default=50, metavar="P",
+                     help="frames each station offers in the network stage")
+    net.add_argument("--network-backend", choices=["fast", "net"],
+                     default="fast",
+                     help="contention model: slotted single-domain DCF "
+                          "(fast) or the spatial SINR simulator (net)")
     return parser
 
 
@@ -75,7 +88,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     only = set(args.stages)
     workers = args.workers  # None defers to REPRO_WORKERS inside the engine
 
-    stages = _stages()
+    stages = _stages(network_kwargs={
+        "payload_octets": args.payload_octets,
+        "data_rate_mbps": args.data_rate_mbps,
+        "packets_per_station": args.packets_per_station,
+        "backend": args.network_backend,
+    })
     unknown = only - {name for name, _ in stages}
     if unknown:
         log.warning("unknown stage(s) requested: %s", ", ".join(sorted(unknown)))

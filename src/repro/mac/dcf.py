@@ -27,7 +27,9 @@ __all__ = [
     "CW_MIN",
     "CW_MAX",
     "ACK_US",
+    "MAX_RETRIES",
     "Frame",
+    "BackoffState",
     "Station",
     "MacStats",
     "DcfSimulator",
@@ -66,34 +68,80 @@ class Frame:
 
 
 @dataclass
-class Station:
-    """One contender with a FIFO of frames."""
+class BackoffState:
+    """Binary-exponential backoff bookkeeping (CW window + drawn slots).
 
-    name: str
-    queue: List[Frame] = field(default_factory=list)
+    The contention-window rules of 802.11 DCF, factored out so the
+    slotted single-domain :class:`DcfSimulator` and the event-driven
+    per-node MAC (:class:`repro.net.mac.NodeMac`) share one
+    implementation: draw uniform in ``[0, CW]``, double ``CW`` (bounded
+    by ``CW_MAX``) on a failed exchange, reset to ``CW_MIN`` on success.
+    """
+
     cw: int = CW_MIN
-    backoff: Optional[int] = None
+    slots: Optional[int] = None
+
+    def draw(self, rng: np.random.Generator) -> int:
+        self.slots = int(rng.integers(0, self.cw + 1))
+        return self.slots
+
+    def on_failure(self) -> None:
+        self.cw = min(2 * (self.cw + 1) - 1, CW_MAX)
+        self.slots = None
+
+    def reset(self) -> None:
+        self.cw = CW_MIN
+        self.slots = None
+
+
+class Station:
+    """One contender with a FIFO of frames.
+
+    ``cw`` and ``backoff`` remain plain attributes of the station (the
+    slotted simulator decrements ``backoff`` in place); both delegate to
+    the shared :class:`BackoffState`.
+    """
+
+    def __init__(self, name: str, queue: Optional[List[Frame]] = None,
+                 cw: int = CW_MIN, backoff: Optional[int] = None):
+        self.name = name
+        self.queue: List[Frame] = queue if queue is not None else []
+        self.backoff_state = BackoffState(cw=cw, slots=backoff)
+
+    @property
+    def cw(self) -> int:
+        return self.backoff_state.cw
+
+    @cw.setter
+    def cw(self, value: int) -> None:
+        self.backoff_state.cw = value
+
+    @property
+    def backoff(self) -> Optional[int]:
+        return self.backoff_state.slots
+
+    @backoff.setter
+    def backoff(self, value: Optional[int]) -> None:
+        self.backoff_state.slots = value
 
     def has_traffic(self) -> bool:
         return bool(self.queue)
 
     def draw_backoff(self, rng: np.random.Generator) -> None:
-        self.backoff = int(rng.integers(0, self.cw + 1))
+        self.backoff_state.draw(rng)
 
     def on_collision(self, rng: np.random.Generator) -> None:
         head = self.queue[0]
         head.retries += 1
         if head.retries > MAX_RETRIES:
             self.queue.pop(0)
-            self.cw = CW_MIN
+            self.backoff_state.reset()
         else:
-            self.cw = min(2 * (self.cw + 1) - 1, CW_MAX)
-        self.backoff = None
+            self.backoff_state.on_failure()
 
     def on_success(self) -> Frame:
         frame = self.queue.pop(0)
-        self.cw = CW_MIN
-        self.backoff = None
+        self.backoff_state.reset()
         return frame
 
 

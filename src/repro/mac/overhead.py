@@ -29,10 +29,17 @@ from repro.mac.dcf import DcfSimulator, Frame, MacStats, Station
 from repro.phy.params import RATE_TABLE, PhyRate
 from repro.utils.rng import RngLike, make_rng
 
-__all__ = ["ControlScheme", "OverheadResult", "run_overhead_comparison"]
+__all__ = [
+    "ControlScheme",
+    "OverheadResult",
+    "run_overhead_comparison",
+    "frame_airtime_us",
+    "BASE_RATE_MBPS",
+]
 
 _PREAMBLE_SIGNAL_US = 20.0
-_BASE_RATE = RATE_TABLE[6]
+BASE_RATE_MBPS = 6
+_BASE_RATE = RATE_TABLE[BASE_RATE_MBPS]
 
 
 class ControlScheme(str, Enum):
@@ -40,8 +47,13 @@ class ControlScheme(str, Enum):
     COS = "cos"
 
 
-def _frame_airtime_us(n_octets: int, rate: PhyRate) -> float:
+def frame_airtime_us(n_octets: int, rate: PhyRate) -> float:
+    """On-air time of an ``n_octets`` PSDU: PLCP preamble + SIGNAL + symbols."""
     return _PREAMBLE_SIGNAL_US + rate.n_symbols_for(n_octets) * 4.0
+
+
+# Backward-compatible private alias (pre-refactor name).
+_frame_airtime_us = frame_airtime_us
 
 
 @dataclass

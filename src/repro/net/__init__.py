@@ -1,0 +1,81 @@
+"""``repro.net`` — event-driven multi-node WLAN simulation.
+
+The link-level layers (``phy``/``channel``/``cos``) evaluate one
+transmitter-receiver pair; ``mac.dcf`` prices airtime in a single
+collision domain.  This package opens the workload the paper's
+motivation actually lives in: *many* stations with 2-D positions,
+log-distance path loss, reception decided by **SINR with a capture
+threshold** (so hidden-node collisions and capture fall out of the
+geometry), per-node DCF state machines driven by a discrete-event
+scheduler, and a control plane that delivers rate-adaptation feedback
+either as explicit contending frames or for free inside CoS silence
+intervals.
+
+Layering (top to bottom)::
+
+    simulator   NetSimulator / run_scenario / run_scenario_sweep
+    scenario    declarative ScenarioSpec (JSON-serialisable, picklable)
+    control     ControlPlane: explicit frames vs CoS piggyback
+    mac         NodeMac: per-node DCF (shared BackoffState with mac.dcf)
+    medium      Medium: active transmissions, carrier sense, SINR at rx
+    sinr        ReceptionModel: capture threshold + SINR->PRR error model
+    topology    Topology: positions, mobility, log-distance path loss
+    scheduler   EventScheduler: deterministic heap calendar queue
+"""
+
+from repro.net.scheduler import EventScheduler
+from repro.net.topology import RadioSpec, Topology, Waypoint
+from repro.net.sinr import (
+    ReceptionModel,
+    SigmoidErrorModel,
+    cos_delivery_prob_for,
+    sinr_db,
+)
+from repro.net.medium import Medium, Transmission
+from repro.net.mac import NodeMac
+from repro.net.control import ControlMessage, ControlPlane
+from repro.net.scenario import (
+    FlowSpec,
+    InterfererSpec,
+    MobilitySpec,
+    NodeSpec,
+    ScenarioSpec,
+)
+from repro.net.scenarios import BUILTIN_SCENARIOS, builtin_scenario
+from repro.net.simulator import (
+    NetResult,
+    NetSimulator,
+    NodeStats,
+    run_scenario,
+    run_scenario_sweep,
+    summarize_results,
+)
+
+__all__ = [
+    "EventScheduler",
+    "RadioSpec",
+    "Topology",
+    "Waypoint",
+    "ReceptionModel",
+    "SigmoidErrorModel",
+    "cos_delivery_prob_for",
+    "sinr_db",
+    "Medium",
+    "Transmission",
+    "NodeMac",
+    "ControlMessage",
+    "ControlPlane",
+    "NodeSpec",
+    "FlowSpec",
+    "MobilitySpec",
+    "InterfererSpec",
+    "ScenarioSpec",
+    "BUILTIN_SCENARIOS",
+    "builtin_scenario",
+    "NetResult",
+    "NetSimulator",
+    "NodeStats",
+    "run_scenario",
+    "run_scenario_sweep",
+    "summarize_results",
+]

@@ -1,0 +1,217 @@
+"""The CoS control plane: rate-adaptation feedback, free or paid-for.
+
+Every successfully delivered **data** frame triggers one feedback
+message at the receiver: the SINR it measured, owed back to the sender
+so its stair-case rate adaptation (:class:`repro.rateadapt.RateAdapter`)
+can track the link.  The two delivery mechanisms are the heart of the
+paper's comparison:
+
+* ``explicit`` — the feedback becomes a real MAC frame (14 octets at the
+  base rate, like an 802.11 management frame) that *contends for
+  airtime*: DIFS, backoff, SIFS + ACK, retries — the full price.
+* ``cos`` — the feedback rides in the silence intervals of the next
+  frame the feedback owner transmits toward the consumer: **zero
+  airtime**, but each embedded message only decodes with the
+  SINR-dependent probability of the link-level operating points
+  (:func:`repro.net.sinr.cos_delivery_prob_for`), retrying on the next
+  carrier.  Data frames are the natural carriers on bidirectional
+  flows; for unidirectional flows the receiver's ACKs — OFDM frames
+  too — carry the silences (a modelling extension documented in
+  docs/network.md).
+
+``cos_fidelity="phy"`` replaces the operating-point table with a
+delivery probability *measured* by running the real ``cos.link`` PHY
+stack at the carrier's SINR (cached per integer dB) — expensive, so
+meant for small scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mac.overhead import BASE_RATE_MBPS
+from repro.net.medium import Transmission
+from repro.net.sinr import cos_delivery_prob_for
+from repro.rateadapt import RateAdapter
+
+__all__ = ["ControlMessage", "ControlPlane", "measured_cos_delivery_prob"]
+
+_PHY_PROB_CACHE: Dict[int, float] = {}
+
+
+def measured_cos_delivery_prob(snr_db: float, seed: int = 0,
+                               n_packets: int = 12) -> float:
+    """Estimate per-message CoS accuracy by running the full PHY link.
+
+    Results are cached per rounded dB (process-local), because a
+    ``CosLink`` session costs real OFDM modulation + Viterbi decoding.
+    """
+    key = int(round(snr_db))
+    if key not in _PHY_PROB_CACHE:
+        from repro.channel import IndoorChannel
+        from repro.cos import CosLink
+
+        channel = IndoorChannel.position("A", snr_db=float(key), seed=seed)
+        stats = CosLink(channel=channel).run(n_packets=n_packets,
+                                             payload=bytes(256))
+        _PHY_PROB_CACHE[key] = float(stats.message_accuracy)
+    return _PHY_PROB_CACHE[key]
+
+
+@dataclass
+class ControlMessage:
+    """One rate-feedback message: measured SINR owed to the data sender."""
+
+    msg_id: int
+    src: str  # feedback owner = the data receiver
+    dst: str  # feedback consumer = the data sender
+    sinr_db: float
+    created_us: float
+    attempts: int = 0
+    delivered_us: Optional[float] = None
+
+
+class ControlPlane:
+    """Feedback generation, transport (explicit vs CoS), and rate state."""
+
+    def __init__(
+        self,
+        mode: str,
+        rng: np.random.Generator,
+        collector,
+        adapter: Optional[RateAdapter] = None,
+        control_octets: int = 14,
+        fixed_rate_mbps: Optional[int] = None,
+        cos_delivery_prob: Optional[float] = None,
+        cos_fidelity: str = "table",
+        max_embed_per_frame: int = 4,
+    ) -> None:
+        if mode not in ("explicit", "cos"):
+            raise ValueError(f"unknown control mode {mode!r}")
+        if cos_fidelity not in ("table", "phy"):
+            raise ValueError(f"unknown cos_fidelity {cos_fidelity!r}")
+        self.mode = mode
+        self.rng = rng
+        self.collector = collector
+        self.adapter = adapter or RateAdapter()
+        self.control_octets = control_octets
+        self.fixed_rate_mbps = fixed_rate_mbps
+        self.cos_delivery_prob = cos_delivery_prob
+        self.cos_fidelity = cos_fidelity
+        self.max_embed_per_frame = max_embed_per_frame
+
+        self._macs: Dict[str, object] = {}
+        self._rates: Dict[Tuple[str, str], int] = {}
+        self._pending: Dict[Tuple[str, str], List[ControlMessage]] = {}
+        self._next_id = 0
+
+    def bind(self, macs: Dict[str, object]) -> None:
+        """Late-bound MAC directory (the simulator wires both ways)."""
+        self._macs = macs
+
+    # ------------------------------------------------------------------
+    # Rate state (what the feedback is *for*)
+    # ------------------------------------------------------------------
+
+    def rate_for(self, src: str, dst: str) -> int:
+        """Current data rate of flow ``src -> dst`` (Mbps).
+
+        Fixed-rate scenarios pin it; adaptive flows start at the base
+        rate and climb as feedback arrives.
+        """
+        if self.fixed_rate_mbps is not None:
+            return self.fixed_rate_mbps
+        return self._rates.get((src, dst), BASE_RATE_MBPS)
+
+    # ------------------------------------------------------------------
+    # Feedback transport
+    # ------------------------------------------------------------------
+
+    def attach(self, frame) -> None:
+        """Embed pending CoS messages in ``frame``'s silence intervals.
+
+        Called by the MAC right before a frame goes on air.  No-op in
+        explicit mode and for frames with no pending feedback toward
+        their destination.  Messages stay in the pending queue until a
+        successful decode — a lost carrier retries them automatically.
+        """
+        if self.mode != "cos" or frame.kind == "control":
+            return
+        pending = self._pending.get((frame.src, frame.dst))
+        if pending:
+            frame.cos_msgs = tuple(pending[: self.max_embed_per_frame])
+
+    def on_frame_received(self, tx: Transmission, sinr_db: float,
+                          now: float) -> None:
+        """Handle a successfully decoded frame at its destination."""
+        frame = tx.frame
+        if frame is not None and frame.cos_msgs:
+            self._decode_embedded(frame, sinr_db, now)
+        if tx.kind == "data":
+            self._generate_feedback(src=tx.dst, dst=tx.src,
+                                    sinr_db=sinr_db, now=now)
+        elif tx.kind == "control" and frame is not None and frame.msg is not None:
+            self._deliver(frame.msg, now)
+
+    def on_frame_acked(self, frame, now: float) -> None:
+        """Sender-side completion hook (currently only for accounting)."""
+        # Explicit control delivery is recorded at *reception*; the ACK
+        # merely stops the sender's retries.  Nothing to do today, but
+        # the hook keeps the MAC ignorant of control-plane policy.
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _generate_feedback(self, src: str, dst: str, sinr_db: float,
+                           now: float) -> None:
+        msg = ControlMessage(
+            msg_id=self._next_id, src=src, dst=dst,
+            sinr_db=float(sinr_db), created_us=now,
+        )
+        self._next_id += 1
+        self.collector.on_control_generated(msg)
+        if self.mode == "explicit":
+            from repro.net.mac import NetFrame  # circular at import time
+
+            self._macs[src].enqueue(NetFrame(
+                kind="control", src=src, dst=dst,
+                payload_octets=self.control_octets, created_us=now, msg=msg,
+            ))
+        else:
+            self._pending.setdefault((src, dst), []).append(msg)
+
+    def _decode_embedded(self, frame, carrier_sinr_db: float,
+                         now: float) -> None:
+        p = self.cos_delivery_prob
+        if p is None:
+            if self.cos_fidelity == "phy":
+                p = measured_cos_delivery_prob(carrier_sinr_db)
+            else:
+                p = cos_delivery_prob_for(carrier_sinr_db)
+        pending = self._pending.get((frame.src, frame.dst), [])
+        for msg in frame.cos_msgs:
+            if msg.delivered_us is not None:
+                continue
+            msg.attempts += 1
+            if float(self.rng.random()) < p:
+                if msg in pending:
+                    pending.remove(msg)
+                self._deliver(msg, now)
+        frame.cos_msgs = ()
+
+    def _deliver(self, msg: ControlMessage, now: float) -> None:
+        if msg.delivered_us is not None:
+            return
+        msg.delivered_us = now
+        # The consumer keys its stair-case adaptation off the reported
+        # SINR — the SiNE lesson: with a CSMA MAC and hidden nodes, SNR
+        # alone would systematically overshoot.
+        self._rates[(msg.dst, msg.src)] = self.adapter.select(msg.sinr_db).mbps
+        self.collector.on_control_delivered(msg, now)
+
+    def pending_count(self) -> int:
+        return sum(len(v) for v in self._pending.values())

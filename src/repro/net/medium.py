@@ -1,0 +1,204 @@
+"""The shared wireless medium: who is on the air, who senses it, who decodes.
+
+The medium tracks the set of in-flight transmissions.  From it fall out
+the three physical facts the MAC layer consumes:
+
+* **Carrier sense** — a node's sensed power is the linear sum of every
+  other active source's received power at its position; the node is
+  *locally busy* when that sum clears the carrier-sense threshold.
+  Because the sum is position-dependent, two stations can each be busy
+  to the AP yet idle to each other: the hidden-node pathology needs no
+  special-casing.
+* **Interference accounting** — every transmission accumulates, worst
+  case over its whole airtime, the received power of every other source
+  that overlapped it at its destination.  SINR at reception time is
+  ``signal / (noise + accumulated interference)``.
+* **Reception** — decided at frame end by the
+  :class:`~repro.net.sinr.ReceptionModel` (capture gate + rate-dependent
+  error draw).  A destination that itself transmitted during the frame
+  loses it outright (half-duplex).
+
+Interferer bursts are ordinary :class:`Transmission` records with
+``dst=None`` — they deposit sensed power and interference but are never
+received.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from repro.net.scheduler import EventScheduler
+from repro.net.sinr import ReceptionModel, dbm_to_mw, mw_to_dbm
+from repro.net.topology import Topology
+
+__all__ = ["Transmission", "Medium"]
+
+
+class Transmission:
+    """One frame (or interference burst) on the air."""
+
+    __slots__ = (
+        "src", "dst", "kind", "rate_mbps", "duration_us", "payload_bits",
+        "frame", "acks", "start_us", "end_us", "signal_dbm",
+        "interference_mw", "rx_busy",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: Optional[str],
+        kind: str,
+        rate_mbps: int,
+        duration_us: float,
+        payload_bits: int = 0,
+        frame=None,
+        acks=None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.rate_mbps = rate_mbps
+        self.duration_us = float(duration_us)
+        self.payload_bits = payload_bits
+        self.frame = frame  # this transmission's own NetFrame (CoS carrier)
+        self.acks = acks  # for ACKs: the data NetFrame being acknowledged
+        self.start_us = 0.0
+        self.end_us = 0.0
+        self.signal_dbm = 0.0
+        self.interference_mw = 0.0
+        self.rx_busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Transmission {self.kind} {self.src}->{self.dst} "
+                f"[{self.start_us:.1f},{self.end_us:.1f}]us>")
+
+
+class MacListener(Protocol):  # pragma: no cover - typing only
+    name: str
+
+    def on_channel_state(self, busy: bool) -> None: ...
+    def on_tx_end(self, tx: Transmission) -> None: ...
+    def on_receive(self, tx: Transmission, ok: bool, sinr_db: float,
+                   reason: str) -> None: ...
+
+
+class Medium:
+    """Active-transmission set + carrier-sense fan-out + SINR receptions."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: EventScheduler,
+        reception: ReceptionModel,
+        rng: np.random.Generator,
+        on_outcome: Optional[Callable[[Transmission, bool, float, str], None]] = None,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.reception = reception
+        self.rng = rng
+        self.on_outcome = on_outcome
+        self._macs: Dict[str, MacListener] = {}
+        self._active: List[Transmission] = []
+        self._busy: Dict[str, bool] = {}
+        #: Airtime by kind (data / control / ack / interference), µs.
+        self.airtime_us: Dict[str, float] = {}
+
+    def register(self, mac: MacListener) -> None:
+        if mac.name in self._macs:
+            raise ValueError(f"duplicate MAC for node {mac.name!r}")
+        self._macs[mac.name] = mac
+        self._busy[mac.name] = False
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+
+    def sensed_power_mw(self, listener: str) -> float:
+        """Aggregate power from every *other* active source at ``listener``."""
+        now = self.scheduler.now_us
+        total = 0.0
+        for tx in self._active:
+            if tx.src == listener:
+                continue
+            total += dbm_to_mw(self.topology.rx_power_dbm(tx.src, listener, now))
+        return total
+
+    def locally_busy(self, listener: str) -> bool:
+        """Carrier sense verdict at ``listener`` (excludes its own signal)."""
+        return (
+            mw_to_dbm(self.sensed_power_mw(listener))
+            >= self.topology.radio.cs_threshold_dbm
+        )
+
+    # ------------------------------------------------------------------
+    # Transmission lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, tx: Transmission) -> None:
+        """Put ``tx`` on the air; its end (and reception) is scheduled here."""
+        now = self.scheduler.now_us
+        tx.start_us = now
+        tx.end_us = now + tx.duration_us
+
+        # Cross-couple with everything already on the air.
+        for other in self._active:
+            if other.dst is not None:
+                if tx.src == other.dst:
+                    other.rx_busy = True  # other's receiver just keyed up
+                else:
+                    other.interference_mw += dbm_to_mw(
+                        self.topology.rx_power_dbm(tx.src, other.dst, now)
+                    )
+        if tx.dst is not None:
+            tx.signal_dbm = self.topology.rx_power_dbm(tx.src, tx.dst, now)
+            for other in self._active:
+                if other.src == tx.dst:
+                    tx.rx_busy = True  # destination is mid-transmission
+                else:
+                    tx.interference_mw += dbm_to_mw(
+                        self.topology.rx_power_dbm(other.src, tx.dst, now)
+                    )
+
+        self._active.append(tx)
+        self.airtime_us[tx.kind] = self.airtime_us.get(tx.kind, 0.0) + tx.duration_us
+        # Ends fire before same-instant starts (priority -1) so a frame
+        # beginning exactly as another ends is not counted as overlap.
+        self.scheduler.at(tx.end_us, self._end, tx, priority=-1)
+        self._update_carrier_states()
+
+    def _end(self, tx: Transmission) -> None:
+        self._active.remove(tx)
+
+        ok, sinr, reason = False, float("-inf"), "not_addressed"
+        if tx.dst is not None:
+            noise_mw = dbm_to_mw(self.topology.radio.noise_dbm)
+            sinr = tx.signal_dbm - mw_to_dbm(noise_mw + tx.interference_mw)
+            if tx.rx_busy:
+                ok, reason = False, "rx_busy"
+            else:
+                ok, reason = self.reception.decide(sinr, tx.rate_mbps, self.rng)
+
+        sender = self._macs.get(tx.src)
+        if sender is not None:
+            sender.on_tx_end(tx)
+        if tx.dst is not None:
+            if self.on_outcome is not None:
+                self.on_outcome(tx, ok, sinr, reason)
+            receiver = self._macs.get(tx.dst)
+            if receiver is not None:
+                receiver.on_receive(tx, ok, sinr, reason)
+        self._update_carrier_states()
+
+    # ------------------------------------------------------------------
+    # Carrier-sense fan-out
+    # ------------------------------------------------------------------
+
+    def _update_carrier_states(self) -> None:
+        for name, mac in self._macs.items():
+            busy = self.locally_busy(name)
+            if busy != self._busy[name]:
+                self._busy[name] = busy
+                mac.on_channel_state(busy)

@@ -1,0 +1,189 @@
+"""Declarative scenario specifications (JSON-serialisable, picklable).
+
+A :class:`ScenarioSpec` fully determines a simulation up to the random
+seed: topology (node positions + radio model), traffic flows, mobility
+waypoints, pulse interferers, and the control-plane configuration.  The
+engine sweeps scenarios by putting the spec itself in the trial params
+(dataclasses pickle cleanly), and the ``repro net`` CLI round-trips them
+through JSON — ``ScenarioSpec.load(path)`` / ``save(path)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.topology import RadioSpec, Topology, Waypoint
+from repro.phy.params import RATE_TABLE
+
+__all__ = [
+    "NodeSpec",
+    "FlowSpec",
+    "MobilitySpec",
+    "InterfererSpec",
+    "ScenarioSpec",
+]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A station (or AP — the MAC does not distinguish) at ``(x, y)`` metres."""
+
+    name: str
+    x: float = 0.0
+    y: float = 0.0
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A unicast traffic flow.
+
+    ``interval_us == 0`` means fully backlogged: every packet is queued
+    at ``start_us``.  Otherwise one packet arrives each interval.
+    """
+
+    src: str
+    dst: str
+    n_packets: int = 50
+    payload_octets: int = 1024
+    interval_us: float = 0.0
+    start_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Waypoints ``(t_us, x, y)`` for one node; linearly interpolated."""
+
+    node: str
+    waypoints: Tuple[Tuple[float, float, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class InterfererSpec:
+    """A ``PulseInterferer``-style co-channel burst source at a position.
+
+    Every ``period_us`` the source starts, with probability
+    ``probability``, a burst of ``burst_us`` at ``power_dbm`` — the
+    network-scale analogue of :class:`repro.channel.interference
+    .PulseInterferer`'s random symbol-length pulses.
+    """
+
+    name: str
+    x: float = 0.0
+    y: float = 0.0
+    power_dbm: float = 17.0
+    burst_us: float = 200.0
+    period_us: float = 2000.0
+    probability: float = 0.3
+    start_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything a :class:`repro.net.simulator.NetSimulator` needs."""
+
+    name: str
+    nodes: Tuple[NodeSpec, ...]
+    flows: Tuple[FlowSpec, ...]
+    control: str = "cos"  # "cos" | "explicit"
+    duration_us: float = 300_000.0
+    radio: RadioSpec = field(default_factory=RadioSpec)
+    mobility: Tuple[MobilitySpec, ...] = ()
+    interferers: Tuple[InterfererSpec, ...] = ()
+    control_octets: int = 14
+    data_rate_mbps: Optional[int] = None  # None = SINR-adaptive
+    cos_delivery_prob: Optional[float] = None  # None = operating-point table
+    cos_fidelity: str = "table"  # "table" | "phy"
+    max_embed_per_frame: int = 4
+
+    def __post_init__(self):
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+        known = set(names)
+        for flow in self.flows:
+            if flow.src not in known or flow.dst not in known:
+                raise ValueError(
+                    f"flow {flow.src}->{flow.dst} references unknown nodes"
+                )
+            if flow.src == flow.dst:
+                raise ValueError(f"flow {flow.src}->{flow.dst} is a self-loop")
+        for mob in self.mobility:
+            if mob.node not in known:
+                raise ValueError(f"mobility for unknown node {mob.node!r}")
+        if self.control not in ("explicit", "cos"):
+            raise ValueError(f"unknown control mode {self.control!r}")
+        if self.data_rate_mbps is not None and self.data_rate_mbps not in RATE_TABLE:
+            raise ValueError(
+                f"{self.data_rate_mbps} Mbps is not an 802.11a rate"
+            )
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+
+    def topology(self) -> Topology:
+        positions = {n.name: (n.x, n.y) for n in self.nodes}
+        for interferer in self.interferers:
+            if interferer.name in positions:
+                raise ValueError(
+                    f"interferer name {interferer.name!r} collides with a node"
+                )
+            positions[interferer.name] = (interferer.x, interferer.y)
+        mobility = {
+            m.node: [Waypoint(t, x, y) for (t, x, y) in m.waypoints]
+            for m in self.mobility
+        }
+        return Topology(positions, radio=self.radio, mobility=mobility)
+
+    def with_control(self, control: str) -> "ScenarioSpec":
+        """The same scenario under the other control scheme."""
+        return dataclasses.replace(self, control=control)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        data = dict(data)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        data["nodes"] = tuple(NodeSpec(**n) for n in data.get("nodes", ()))
+        data["flows"] = tuple(FlowSpec(**f) for f in data.get("flows", ()))
+        if "radio" in data and isinstance(data["radio"], dict):
+            data["radio"] = RadioSpec(**data["radio"])
+        data["mobility"] = tuple(
+            MobilitySpec(node=m["node"],
+                         waypoints=tuple(tuple(w) for w in m["waypoints"]))
+            for m in data.get("mobility", ())
+        )
+        data["interferers"] = tuple(
+            InterfererSpec(**i) for i in data.get("interferers", ())
+        )
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

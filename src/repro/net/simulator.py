@@ -1,0 +1,399 @@
+"""Scenario execution: wire the layers together, collect per-node stats.
+
+:class:`NetSimulator` instantiates the stack for one
+:class:`~repro.net.scenario.ScenarioSpec` — scheduler, topology, medium,
+one :class:`~repro.net.mac.NodeMac` per node, the control plane, traffic
+sources, interferers — runs it, and returns a picklable
+:class:`NetResult`.
+
+Sweeps go through :mod:`repro.engine`: :func:`run_scenario_sweep` runs N
+independent trials of a scenario with per-trial ``SeedSequence`` spawned
+seeds, so serial and process-pool executions are bit-for-bit identical
+(the ``net`` determinism contract is the engine's, inherited wholesale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import engine
+from repro.engine.spec import TrialSpec
+from repro.net.control import ControlPlane
+from repro.net.mac import NetFrame, NodeMac
+from repro.net.medium import Medium, Transmission
+from repro.net.scenario import FlowSpec, InterfererSpec, ScenarioSpec
+from repro.net.scheduler import EventScheduler
+from repro.net.sinr import ReceptionModel, SigmoidErrorModel
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = [
+    "NodeStats",
+    "NetResult",
+    "NetSimulator",
+    "run_scenario",
+    "run_scenario_sweep",
+    "summarize_results",
+]
+
+
+@dataclass
+class NodeStats:
+    """Per-node outcomes of one scenario run (all fields picklable)."""
+
+    name: str
+    data_generated: int = 0
+    data_attempts: int = 0
+    data_rx_ok: int = 0
+    data_delivered: int = 0
+    data_dropped: int = 0
+    failures: int = 0  # ACK timeouts (collisions + channel losses)
+    payload_bits_delivered: int = 0
+    control_generated: int = 0
+    control_delivered: int = 0
+    control_latencies_us: List[float] = field(default_factory=list)
+    sinr_samples_db: List[float] = field(default_factory=list)
+    loss_reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Per-attempt success: decoded receptions / transmission attempts."""
+        if self.data_attempts == 0:
+            return 0.0
+        return self.data_rx_ok / self.data_attempts
+
+    @property
+    def completion_ratio(self) -> float:
+        """Delivered frames / generated frames (retries collapse into one)."""
+        if self.data_generated == 0:
+            return 0.0
+        return self.data_delivered / self.data_generated
+
+    @property
+    def mean_control_latency_us(self) -> float:
+        if not self.control_latencies_us:
+            return 0.0
+        return float(np.mean(self.control_latencies_us))
+
+    @property
+    def mean_sinr_db(self) -> Optional[float]:
+        """Mean per-attempt SINR of this node's data frames (None: no samples).
+
+        ``None`` rather than NaN so exported summaries stay strict JSON.
+        """
+        if not self.sinr_samples_db:
+            return None
+        return float(np.mean(self.sinr_samples_db))
+
+    @property
+    def min_sinr_db(self) -> Optional[float]:
+        if not self.sinr_samples_db:
+            return None
+        return float(np.min(self.sinr_samples_db))
+
+
+@dataclass
+class NetResult:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    control: str
+    duration_us: float
+    elapsed_us: float
+    per_node: Dict[str, NodeStats]
+    airtime_us: Dict[str, float]
+    n_events: int
+
+    def goodput_mbps(self, node: str) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.per_node[node].payload_bits_delivered / self.elapsed_us
+
+    @property
+    def senders(self) -> List[str]:
+        return [n for n, s in self.per_node.items() if s.data_generated > 0]
+
+    @property
+    def aggregate_goodput_mbps(self) -> float:
+        return sum(self.goodput_mbps(n) for n in self.per_node)
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over the senders' goodputs (1.0 = perfectly fair)."""
+        xs = [self.goodput_mbps(n) for n in self.senders]
+        if not xs or all(x == 0 for x in xs):
+            return 1.0
+        return float(sum(xs) ** 2 / (len(xs) * sum(x * x for x in xs)))
+
+    @property
+    def control_airtime_fraction(self) -> float:
+        busy = sum(v for k, v in self.airtime_us.items() if k != "interference")
+        if busy == 0:
+            return 0.0
+        return self.airtime_us.get("control", 0.0) / busy
+
+    @property
+    def collisions(self) -> int:
+        return sum(s.failures for s in self.per_node.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "control": self.control,
+            "duration_us": self.duration_us,
+            "elapsed_us": self.elapsed_us,
+            "aggregate_goodput_mbps": self.aggregate_goodput_mbps,
+            "fairness": self.fairness,
+            "collisions": self.collisions,
+            "control_airtime_fraction": self.control_airtime_fraction,
+            "airtime_us": dict(self.airtime_us),
+            "n_events": self.n_events,
+            "per_node": {
+                name: {
+                    "goodput_mbps": self.goodput_mbps(name),
+                    "delivery_ratio": stats.delivery_ratio,
+                    "completion_ratio": stats.completion_ratio,
+                    "data_generated": stats.data_generated,
+                    "data_attempts": stats.data_attempts,
+                    "data_delivered": stats.data_delivered,
+                    "data_dropped": stats.data_dropped,
+                    "failures": stats.failures,
+                    "control_generated": stats.control_generated,
+                    "control_delivered": stats.control_delivered,
+                    "mean_control_latency_us": stats.mean_control_latency_us,
+                    "mean_sinr_db": stats.mean_sinr_db,
+                    "min_sinr_db": stats.min_sinr_db,
+                    "loss_reasons": dict(stats.loss_reasons),
+                }
+                for name, stats in self.per_node.items()
+            },
+        }
+
+
+class _Collector:
+    """Mutation sink the MAC / medium / control plane report into."""
+
+    def __init__(self, node_names) -> None:
+        self.nodes: Dict[str, NodeStats] = {
+            name: NodeStats(name=name) for name in node_names
+        }
+        self.last_activity_us = 0.0
+        registry = get_registry()
+        self._frames = registry.counter(
+            "repro_net_frames_total", "frames by kind and outcome"
+        )
+        self._control = registry.counter(
+            "repro_net_control_total", "control messages by event"
+        )
+
+    def on_generated(self, name: str) -> None:
+        self.nodes[name].data_generated += 1
+
+    def on_attempt(self, name: str, kind: str) -> None:
+        if kind == "data":
+            self.nodes[name].data_attempts += 1
+
+    def on_failure(self, name: str, kind: str) -> None:
+        self.nodes[name].failures += 1
+
+    def on_drop(self, name: str, frame: NetFrame, now: float) -> None:
+        if frame.kind == "data":
+            self.nodes[name].data_dropped += 1
+        self._frames.labels(kind=frame.kind, result="dropped").inc()
+        self.last_activity_us = max(self.last_activity_us, now)
+
+    def on_delivered(self, name: str, frame: NetFrame, now: float) -> None:
+        stats = self.nodes[name]
+        if frame.kind == "data":
+            stats.data_delivered += 1
+            stats.payload_bits_delivered += frame.payload_bits
+        self._frames.labels(kind=frame.kind, result="delivered").inc()
+        self.last_activity_us = max(self.last_activity_us, now)
+
+    def on_outcome(self, tx: Transmission, ok: bool, sinr_db: float,
+                   reason: str) -> None:
+        """Per-reception-attempt record, attributed to the transmitter."""
+        stats = self.nodes.get(tx.src)
+        if stats is None or tx.kind != "data":
+            return
+        stats.sinr_samples_db.append(float(sinr_db))
+        if ok:
+            stats.data_rx_ok += 1
+        else:
+            stats.loss_reasons[reason] = stats.loss_reasons.get(reason, 0) + 1
+
+    def on_control_generated(self, msg) -> None:
+        self.nodes[msg.dst].control_generated += 1
+        self._control.labels(event="generated").inc()
+
+    def on_control_delivered(self, msg, now: float) -> None:
+        stats = self.nodes[msg.dst]
+        stats.control_delivered += 1
+        stats.control_latencies_us.append(now - msg.created_us)
+        self._control.labels(event="delivered").inc()
+
+
+class NetSimulator:
+    """One scenario, one RNG, one run."""
+
+    def __init__(self, spec: ScenarioSpec, rng: RngLike = None) -> None:
+        self.spec = spec
+        self.rng = make_rng(rng)
+        self.scheduler = EventScheduler()
+        self.topology = spec.topology()
+        reception = ReceptionModel(
+            capture_threshold_db=spec.radio.capture_threshold_db,
+            error_model=SigmoidErrorModel(),
+        )
+        self.collector = _Collector([n.name for n in spec.nodes])
+        self.medium = Medium(
+            self.topology, self.scheduler, reception, self.rng,
+            on_outcome=self.collector.on_outcome,
+        )
+        self.control_plane = ControlPlane(
+            mode=spec.control,
+            rng=self.rng,
+            collector=self.collector,
+            control_octets=spec.control_octets,
+            fixed_rate_mbps=spec.data_rate_mbps,
+            cos_delivery_prob=spec.cos_delivery_prob,
+            cos_fidelity=spec.cos_fidelity,
+            max_embed_per_frame=spec.max_embed_per_frame,
+        )
+        self.macs: Dict[str, NodeMac] = {}
+        for node in spec.nodes:
+            self.macs[node.name] = NodeMac(
+                name=node.name,
+                medium=self.medium,
+                scheduler=self.scheduler,
+                rng=self.rng,
+                control_plane=self.control_plane,
+                collector=self.collector,
+            )
+        self.control_plane.bind(self.macs)
+        for flow in spec.flows:
+            self._schedule_flow(flow)
+        for interferer in spec.interferers:
+            self.scheduler.at(
+                interferer.start_us, self._interferer_tick, interferer
+            )
+
+    # ------------------------------------------------------------------
+    # Traffic and interference sources
+    # ------------------------------------------------------------------
+
+    def _schedule_flow(self, flow: FlowSpec) -> None:
+        for i in range(flow.n_packets):
+            arrival = flow.start_us + i * flow.interval_us
+            if arrival > self.spec.duration_us:
+                break
+            self.scheduler.at(arrival, self._arrive, flow, arrival)
+
+    def _arrive(self, flow: FlowSpec, arrival_us: float) -> None:
+        self.collector.on_generated(flow.src)
+        self.macs[flow.src].enqueue(NetFrame(
+            kind="data", src=flow.src, dst=flow.dst,
+            payload_octets=flow.payload_octets, created_us=arrival_us,
+        ))
+
+    def _interferer_tick(self, spec: InterfererSpec) -> None:
+        if float(self.rng.random()) < spec.probability:
+            self.medium.begin(Transmission(
+                src=spec.name, dst=None, kind="interference",
+                rate_mbps=6, duration_us=spec.burst_us,
+            ))
+        next_us = self.scheduler.now_us + spec.period_us
+        if next_us <= self.spec.duration_us:
+            self.scheduler.at(next_us, self._interferer_tick, spec)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> NetResult:
+        with span("net.scenario", scenario=self.spec.name,
+                  control=self.spec.control, nodes=len(self.spec.nodes)):
+            end_us = self.scheduler.run(until_us=self.spec.duration_us)
+        elapsed = self.collector.last_activity_us or end_us
+        return NetResult(
+            scenario=self.spec.name,
+            control=self.spec.control,
+            duration_us=self.spec.duration_us,
+            elapsed_us=elapsed,
+            per_node=self.collector.nodes,
+            airtime_us=dict(self.medium.airtime_us),
+            n_events=self.scheduler.n_dispatched,
+        )
+
+
+def run_scenario(spec: ScenarioSpec, rng: RngLike = 0) -> NetResult:
+    """Run one scenario once (deterministic in ``(spec, rng)``)."""
+    return NetSimulator(spec, rng=rng).run()
+
+
+def _scenario_trial(trial: TrialSpec) -> NetResult:
+    """Engine trial function: one independent realisation of the scenario."""
+    return run_scenario(trial["scenario"], rng=trial.rng())
+
+
+def run_scenario_sweep(
+    spec: ScenarioSpec,
+    n_trials: int = 1,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> List[NetResult]:
+    """N independent trials through the deterministic trial engine."""
+    params = [{"scenario": spec, "trial": i} for i in range(n_trials)]
+    return engine.run_sweep(
+        params, _scenario_trial, seed=seed, workers=workers,
+        label=f"net:{spec.name}",
+    )
+
+
+def _mean_or_none(values) -> Optional[float]:
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    return float(np.mean(values))
+
+
+def summarize_results(results: List[NetResult]) -> Dict:
+    """Mean-over-trials summary (the ``repro net`` JSON export shape)."""
+    if not results:
+        raise ValueError("no results to summarize")
+    first = results[0]
+    node_names = list(first.per_node)
+    per_node = {}
+    for name in node_names:
+        per_node[name] = {
+            "goodput_mbps": float(np.mean([r.goodput_mbps(name) for r in results])),
+            "delivery_ratio": float(np.mean(
+                [r.per_node[name].delivery_ratio for r in results])),
+            "completion_ratio": float(np.mean(
+                [r.per_node[name].completion_ratio for r in results])),
+            "mean_control_latency_us": float(np.mean(
+                [r.per_node[name].mean_control_latency_us for r in results])),
+            "mean_sinr_db": _mean_or_none(
+                [r.per_node[name].mean_sinr_db for r in results]),
+            "control_delivered": float(np.mean(
+                [r.per_node[name].control_delivered for r in results])),
+            "control_generated": float(np.mean(
+                [r.per_node[name].control_generated for r in results])),
+        }
+    return {
+        "scenario": first.scenario,
+        "control": first.control,
+        "n_trials": len(results),
+        "aggregate_goodput_mbps": float(np.mean(
+            [r.aggregate_goodput_mbps for r in results])),
+        "fairness": float(np.mean([r.fairness for r in results])),
+        "collisions": float(np.mean([r.collisions for r in results])),
+        "control_airtime_fraction": float(np.mean(
+            [r.control_airtime_fraction for r in results])),
+        "elapsed_us": float(np.mean([r.elapsed_us for r in results])),
+        "per_node": per_node,
+    }

@@ -1,0 +1,155 @@
+"""Spatial layer: node positions, mobility waypoints, log-distance path loss.
+
+Per-link received power follows the log-distance model
+
+    P_rx(d) = P_tx - [PL(d0) + 10 n log10(d / d0)]
+
+with the 5 GHz-ish defaults ``PL(1 m) = 46.7 dB`` and indoor exponent
+``n = 3``.  Everything downstream (carrier sense, SNR, SINR) derives
+from :meth:`Topology.rx_power_dbm`, so hidden nodes are purely a matter
+of geometry: two stations far enough apart that each other's power lands
+below the carrier-sense threshold cannot coordinate, yet both still
+deposit interference power at a receiver between them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+__all__ = ["RadioSpec", "Waypoint", "Topology"]
+
+
+@dataclass(frozen=True)
+class RadioSpec:
+    """Radio/propagation parameters shared by every node in a scenario.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Transmit power (17 dBm is a typical WLAN client).
+    cs_threshold_dbm:
+        Carrier-sense (energy-detect) threshold: a node defers while the
+        aggregate received power from other transmitters is at or above
+        this level.
+    capture_threshold_db:
+        Minimum SINR for the receiver to lock onto a frame at all; above
+        it, decoding succeeds with the rate-dependent PRR of the error
+        model (the capture effect: a strong frame survives a collision).
+    noise_figure_db / bandwidth_hz:
+        Thermal noise floor: ``-174 + 10 log10(BW) + NF`` dBm.
+    path_loss_exponent / ref_loss_db / ref_distance_m:
+        Log-distance path-loss model parameters.
+    """
+
+    tx_power_dbm: float = 17.0
+    cs_threshold_dbm: float = -82.0
+    capture_threshold_db: float = 4.0
+    noise_figure_db: float = 7.0
+    bandwidth_hz: float = 20e6
+    path_loss_exponent: float = 3.0
+    ref_loss_db: float = 46.7
+    ref_distance_m: float = 1.0
+
+    @property
+    def noise_dbm(self) -> float:
+        return -174.0 + 10.0 * math.log10(self.bandwidth_hz) + self.noise_figure_db
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A mobility anchor: be at ``(x, y)`` at time ``t_us``."""
+
+    t_us: float
+    x: float
+    y: float
+
+
+class Topology:
+    """Positions + radio model; answers power/SNR/carrier-sense queries.
+
+    ``mobility`` maps node name to a waypoint sequence; positions are
+    piecewise-linearly interpolated between waypoints (clamped at the
+    ends), so a node with no waypoints simply sits still.
+    """
+
+    def __init__(
+        self,
+        positions: Mapping[str, Tuple[float, float]],
+        radio: RadioSpec = RadioSpec(),
+        mobility: Mapping[str, Sequence[Waypoint]] = None,
+    ) -> None:
+        if not positions:
+            raise ValueError("topology needs at least one node")
+        self.radio = radio
+        self._static: Dict[str, Tuple[float, float]] = {
+            name: (float(x), float(y)) for name, (x, y) in positions.items()
+        }
+        self._mobility: Dict[str, Tuple[Waypoint, ...]] = {}
+        for name, waypoints in (mobility or {}).items():
+            if name not in self._static:
+                raise ValueError(f"mobility for unknown node {name!r}")
+            wps = tuple(sorted(waypoints, key=lambda w: w.t_us))
+            if wps:
+                self._mobility[name] = wps
+
+    @property
+    def names(self) -> Iterable[str]:
+        return self._static.keys()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def position(self, name: str, t_us: float = 0.0) -> Tuple[float, float]:
+        wps = self._mobility.get(name)
+        if not wps:
+            return self._static[name]
+        if t_us <= wps[0].t_us:
+            return (wps[0].x, wps[0].y)
+        if t_us >= wps[-1].t_us:
+            return (wps[-1].x, wps[-1].y)
+        for a, b in zip(wps, wps[1:]):
+            if a.t_us <= t_us <= b.t_us:
+                span = b.t_us - a.t_us
+                frac = 0.0 if span <= 0 else (t_us - a.t_us) / span
+                return (a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def distance_m(self, a: str, b: str, t_us: float = 0.0) -> float:
+        xa, ya = self.position(a, t_us)
+        xb, yb = self.position(b, t_us)
+        return math.hypot(xa - xb, ya - yb)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def path_loss_db(self, distance_m: float) -> float:
+        r = self.radio
+        d = max(distance_m, r.ref_distance_m)
+        return r.ref_loss_db + 10.0 * r.path_loss_exponent * math.log10(
+            d / r.ref_distance_m
+        )
+
+    def rx_power_dbm(self, src: str, dst: str, t_us: float = 0.0) -> float:
+        """Received power at ``dst`` of a transmission from ``src``."""
+        return self.radio.tx_power_dbm - self.path_loss_db(
+            self.distance_m(src, dst, t_us)
+        )
+
+    def snr_db(self, src: str, dst: str, t_us: float = 0.0) -> float:
+        """Interference-free SNR of the ``src -> dst`` link."""
+        return self.rx_power_dbm(src, dst, t_us) - self.radio.noise_dbm
+
+    def senses(self, listener: str, transmitter: str, t_us: float = 0.0) -> bool:
+        """True if ``listener`` carrier-senses ``transmitter``'s signal.
+
+        Symmetric for equal transmit powers; with a single shared
+        :class:`RadioSpec` that is always the case here.
+        """
+        return (
+            self.rx_power_dbm(transmitter, listener, t_us)
+            >= self.radio.cs_threshold_dbm
+        )

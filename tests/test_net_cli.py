@@ -1,0 +1,84 @@
+"""Tests for the ``repro net`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.net import ScenarioSpec, builtin_scenario
+
+
+@pytest.fixture()
+def small_scenario_path(tmp_path):
+    spec = builtin_scenario("hidden-node", n_packets=30, duration_us=30_000.0)
+    path = tmp_path / "small.json"
+    spec.save(str(path))
+    return str(path)
+
+
+class TestNetList:
+    def test_lists_builtins(self, capsys):
+        assert main(["net", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "hidden-node" in out
+        assert "contention" in out
+
+
+class TestNetRun:
+    def test_run_scenario_file_with_json_export(self, small_scenario_path,
+                                                capsys):
+        assert main(["net", "run", small_scenario_path, "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario hidden-node" in out
+        summary = json.loads(out[out.index("{"):])
+        assert summary["scenario"] == "hidden-node"
+        assert summary["control"] == "cos"
+        assert summary["per_node"]["sta_near"]["goodput_mbps"] > 0
+
+    def test_control_override(self, small_scenario_path, capsys):
+        assert main(["net", "run", small_scenario_path,
+                     "--control", "explicit"]) == 0
+        assert "[explicit control" in capsys.readouterr().out
+
+    def test_run_builtin_by_name(self, capsys):
+        assert main(["net", "run", "contention", "--seed", "3"]) == 0
+        assert "contention" in capsys.readouterr().out
+
+    def test_unknown_scenario_errors(self):
+        assert main(["net", "run", "no-such-scenario"]) == 2
+
+    def test_json_and_metrics_files(self, small_scenario_path, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "net", "run", small_scenario_path,
+            "--trials", "2", "--workers", "0",
+            "--json", str(summary_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["n_trials"] == 2
+        metrics = json.loads(metrics_path.read_text())
+        assert any("repro_net" in name for name in metrics)
+
+    def test_parallel_summary_matches_serial(self, small_scenario_path,
+                                             tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        for workers, path in (("0", serial), ("2", parallel)):
+            assert main([
+                "net", "run", small_scenario_path,
+                "--trials", "2", "--seed", "17", "--workers", workers,
+                "--json", str(path),
+            ]) == 0
+        assert json.loads(serial.read_text()) == json.loads(parallel.read_text())
+
+
+class TestScenarioFileInRepo:
+    def test_shipped_example_parses(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "scenarios" / "hidden_node.json"
+        spec = ScenarioSpec.load(str(path))
+        assert spec.name == "hidden-node"
+        assert {n.name for n in spec.nodes} == {"ap", "sta_near", "sta_hidden"}

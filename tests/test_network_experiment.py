@@ -10,6 +10,7 @@ class TestNetworkExperiment:
     def test_cos_never_loses_goodput(self):
         result = network.run(station_counts=[2, 6])
         assert result.cos_never_loses_goodput()
+        assert result.goodput_violations() == []
 
     def test_explicit_pays_airtime(self):
         result = network.run(station_counts=[4])
@@ -29,6 +30,68 @@ class TestNetworkExperiment:
         network.print_result(result)
         out = capsys.readouterr().out
         assert "Network comparison" in out
+        assert "FAIL" not in out
+
+    def test_print_result_names_failing_station_count(self, capsys):
+        from types import SimpleNamespace
+
+        fake = lambda mbps: SimpleNamespace(
+            goodput_mbps=mbps,
+            control_airtime_fraction=0.0,
+            mean_control_latency_us=0.0,
+        )
+        result = network.NetworkComparisonResult(
+            station_counts=[3],
+            explicit=[fake(10.0)],
+            cos=[fake(5.0)],  # CoS clearly loses
+        )
+        assert not result.cos_never_loses_goodput()
+        network.print_result(result)
+        out = capsys.readouterr().out
+        assert "FAIL: CoS loses goodput at 3 stations" in out
+
+    def test_relative_tolerance_is_named_and_relative(self):
+        from types import SimpleNamespace
+
+        fake = lambda mbps: SimpleNamespace(goodput_mbps=mbps)
+        # A shortfall inside the relative tolerance is not a violation.
+        within = 10.0 * (1.0 - network.GOODPUT_REL_TOL / 2)
+        result = network.NetworkComparisonResult(
+            station_counts=[4], explicit=[fake(10.0)], cos=[fake(within)]
+        )
+        assert result.cos_never_loses_goodput()
+
+    def test_payload_and_rate_are_threaded(self):
+        small = network.run(station_counts=[2], payload_octets=256,
+                            packets_per_station=20)
+        large = network.run(station_counts=[2], payload_octets=2048,
+                            packets_per_station=20)
+        # Larger payloads amortise MAC overhead: higher goodput.
+        assert (
+            large.cos[0].goodput_mbps > small.cos[0].goodput_mbps
+        )
+        slow = network.run(station_counts=[2], data_rate_mbps=6,
+                           packets_per_station=20)
+        fast = network.run(station_counts=[2], data_rate_mbps=54,
+                           packets_per_station=20)
+        # At a higher data rate the (base-rate) control frames make up a
+        # larger share of the busy airtime.
+        assert (
+            fast.explicit[0].control_airtime_fraction
+            > slow.explicit[0].control_airtime_fraction
+        )
+
+    def test_net_backend(self):
+        result = network.run(station_counts=[2], backend="net",
+                             packets_per_station=20)
+        assert result.backend == "net"
+        assert result.cos_never_loses_goodput()
+        assert result.explicit_control_airtime() > 0.02
+        assert result.cos[0].control_airtime_fraction == 0.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            network.run(station_counts=[2], backend="warp")
 
 
 class TestRunner:
