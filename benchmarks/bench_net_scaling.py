@@ -1,0 +1,136 @@
+"""Simulator-throughput scaling — events/sec across node counts.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_net_scaling.py`` — pytest-benchmark record of
+  the contention scenario at the middle node count, with events/sec and
+  the sim-to-wall ratio attached as ``extra_info``.
+
+* ``python benchmarks/bench_net_scaling.py --out BENCH_net_scaling.json``
+  — the CI perf-smoke: runs the contention built-in at several station
+  counts with a profiling :class:`repro.net.lens.NetLens` attached,
+  records events/sec, sim-time-to-wall-time ratio, and the hottest
+  callback types per point, and exits non-zero if throughput at any
+  point falls below ``--min-events-per-sec`` (deliberately a very low
+  floor: the gate exists to catch order-of-magnitude regressions — an
+  accidentally quadratic medium scan, say — not CI-runner noise).
+
+This is the measurement the ROADMAP's dense-multi-BSS scaling work is
+gated on: the event scheduler's dispatch rate is the simulator's budget,
+and the per-callback histograms say where it goes as N grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List
+
+from repro.net import NetLens, builtin_scenario, run_scenario
+
+#: Station counts for the scaling sweep (>= 3 points, per the CI gate).
+NODE_COUNTS = (2, 4, 8, 16)
+
+#: Floor on scheduler throughput at every point.  Interpreted loosely on
+#: purpose — a 2010 laptop clears 10k events/s; a regression that trips
+#: this is structural, not noise.
+MIN_EVENTS_PER_SEC = 5_000.0
+
+
+def _run_point(n_stations: int, n_packets: int = 40,
+               duration_us: float = 200_000.0) -> Dict:
+    """One profiled contention run; returns the JSON record for the point."""
+    spec = builtin_scenario(
+        "contention", n_stations=n_stations, n_packets=n_packets,
+        duration_us=duration_us,
+    )
+    lens = NetLens(trace=False, ledger=False, profile=True)
+    result = run_scenario(spec, rng=0, lens=lens)
+    profile = result.profile
+    # Hottest callback types by total wall time (top 3 is plenty for CI).
+    by_type = profile.get("by_type", {})
+    hottest = sorted(by_type.items(), key=lambda kv: -kv[1]["total_s"])[:3]
+    return {
+        "n_stations": n_stations,
+        "n_nodes": n_stations + 1,
+        "n_events": profile["n_events"],
+        "wall_s": profile["wall_s"],
+        "events_per_sec": profile["events_per_sec"],
+        "sim_us": profile["sim_us"],
+        "sim_wall_ratio": profile["sim_wall_ratio"],
+        "hottest": {name: stats["total_s"] for name, stats in hottest},
+    }
+
+
+def run(out_path: str, min_events_per_sec: float) -> int:
+    points: List[Dict] = []
+    for n in NODE_COUNTS:
+        point = _run_point(n)
+        points.append(point)
+        print(f"contention-{n:<3d} {point['n_events']:>7d} events  "
+              f"{point['events_per_sec']:>10.0f} ev/s  "
+              f"sim/wall {point['sim_wall_ratio']:>8.1f}x")
+
+    record = {
+        "bench": "net_scaling",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "min_events_per_sec": min_events_per_sec,
+        "points": points,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    slow = [p for p in points if p["events_per_sec"] < min_events_per_sec]
+    if slow:
+        for p in slow:
+            print(f"FAIL: contention-{p['n_stations']} ran at "
+                  f"{p['events_per_sec']:.0f} ev/s "
+                  f"(< {min_events_per_sec:.0f})", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point
+# ---------------------------------------------------------------------------
+
+
+def test_net_scaling(benchmark):
+    """Scheduler throughput at the sweep's middle point, as a benchmark."""
+    spec = builtin_scenario("contention", n_stations=8, n_packets=40,
+                            duration_us=200_000.0)
+
+    def _once():
+        lens = NetLens(trace=False, ledger=False, profile=True)
+        run_scenario(spec, rng=0, lens=lens)
+        return lens
+
+    lens = benchmark.pedantic(_once, rounds=3, iterations=1, warmup_rounds=1)
+    n_events = lens.n_sched_events
+    assert n_events > 0 and lens.wall_s > 0
+    eps = n_events / lens.wall_s
+    benchmark.extra_info["n_events"] = n_events
+    benchmark.extra_info["events_per_sec"] = eps
+    benchmark.extra_info["sim_wall_ratio"] = lens.duration_us / (lens.wall_s * 1e6)
+    assert eps > MIN_EVENTS_PER_SEC
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_net_scaling.json",
+                        help="JSON record path (default: %(default)s)")
+    parser.add_argument("--min-events-per-sec", type=float,
+                        default=MIN_EVENTS_PER_SEC,
+                        help="throughput gate per point (default: %(default)s)")
+    args = parser.parse_args(argv)
+    return run(args.out, args.min_events_per_sec)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

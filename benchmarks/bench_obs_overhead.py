@@ -1,6 +1,6 @@
 """Observability overhead micro-benchmarks.
 
-Two guarantees are asserted here:
+Three guarantees are asserted here:
 
 1. the disabled (``NullSpan``) fast path of :func:`repro.obs.trace.span`
    costs **< 1 µs** per span — instrumentation may therefore stay inline
@@ -8,7 +8,12 @@ Two guarantees are asserted here:
 2. the instrumented ``CosLink.exchange`` with tracing *disabled* is not
    measurably slower than the seed implementation (< 2 % regression bar;
    see ``bench_phy_throughput.py::test_full_cos_exchange`` for the
-   absolute number tracked across PRs).
+   absolute number tracked across PRs);
+3. the :class:`repro.net.lens.NetLens` hook sites in the net simulator's
+   hot loop cost, with no lens attached (the default), under
+   ``NET_LENS_DISABLED_OVERHEAD_BAR`` (3 %) of the run's wall-clock —
+   established by counting actual hook invocations and pricing each at a
+   measured ``x is None`` branch cost.
 """
 
 import time
@@ -16,6 +21,10 @@ import time
 import repro.obs as obs
 from repro.obs import trace as trace_mod
 from repro.obs.trace import span
+
+#: Ceiling on the disabled net-lens hook cost as a fraction of the
+#: simulator's wall-clock (the ISSUE's "near-free disabled path" bar).
+NET_LENS_DISABLED_OVERHEAD_BAR = 0.03
 
 
 def _time_noop_spans(n: int) -> float:
@@ -65,3 +74,93 @@ def test_exchange_tracing_disabled_vs_enabled(benchmark):
         lambda: link.exchange(bytes(400), bits), rounds=5, iterations=1
     )
     assert outcome.data_ok
+
+
+class _CountingLens:
+    """Counts net-lens hook invocations without doing any work.
+
+    Duck-types the :class:`repro.net.lens.NetLens` hook surface so the
+    simulator wires it everywhere a real lens would go; every call just
+    bumps one counter — the count is the exact number of ``is None``
+    checks the disabled path would have taken on the same run.
+    """
+
+    trace = ledger = profile = False
+    events = ()
+
+    def __init__(self):
+        self.n_hooks = 0
+
+    def bind(self, node_names):
+        pass
+
+    def on_run_start(self):
+        pass
+
+    def finalize(self, end_us, n_sched_events, registry=None):
+        pass
+
+    def _hook(self, *args):
+        self.n_hooks += 1
+
+    on_tx_start = on_tx_end = on_channel_state = on_backoff = _hook
+    on_drop = on_deliver = on_control_generated = on_control_delivered = _hook
+
+
+def _time_is_none_check(n: int = 200_000) -> float:
+    """Mean seconds per ``attribute load + is None branch`` (the hook cost)."""
+
+    class _Holder:
+        lens = None
+
+    holder = _Holder()
+    acc = 0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if holder.lens is not None:
+            acc += 1
+    dt = time.perf_counter() - t0
+    assert acc == 0
+    return dt / n
+
+
+def test_net_lens_disabled_overhead(benchmark):
+    """Hook sites with no lens attached must stay under the 3 % bar."""
+    from repro.net import builtin_scenario, run_scenario
+
+    spec = builtin_scenario("contention", n_stations=6, n_packets=40,
+                            duration_us=200_000.0)
+
+    # How many hook checks does this run actually perform?  Every
+    # counted hook invocation is one ``lens is None`` site, plus the
+    # scheduler pays one ``profiler is None`` check per dispatched event.
+    counting = _CountingLens()
+    counted = run_scenario(spec, rng=0, lens=counting)
+    n_checks = counting.n_hooks + counted.n_events
+
+    # Wall-clock of the production path (lens=None), best of a few runs.
+    def _disabled():
+        return run_scenario(spec, rng=0)
+
+    t_disabled = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _disabled()
+        t_disabled = min(t_disabled, time.perf_counter() - t0)
+
+    per_check = benchmark.pedantic(
+        _time_is_none_check, rounds=3, iterations=1, warmup_rounds=1
+    )
+    hook_cost = n_checks * per_check
+    ratio = hook_cost / t_disabled
+
+    benchmark.extra_info["n_hook_checks"] = n_checks
+    benchmark.extra_info["per_check_ns"] = per_check * 1e9
+    benchmark.extra_info["disabled_run_s"] = t_disabled
+    benchmark.extra_info["overhead_fraction"] = ratio
+
+    assert n_checks > 1000, f"hook count suspiciously low: {n_checks}"
+    assert ratio < NET_LENS_DISABLED_OVERHEAD_BAR, (
+        f"disabled net-lens checks cost {ratio * 100:.2f} % of the run "
+        f"(bar: {NET_LENS_DISABLED_OVERHEAD_BAR * 100:.0f} %)"
+    )

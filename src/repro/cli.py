@@ -22,12 +22,20 @@ Commands
     spatial simulator and print per-node goodput, delivery, control
     latency, and fairness stats.  ``--json PATH`` exports the
     mean-over-trials summary (``-`` for stdout); ``--trace-out`` /
-    ``--metrics-out`` work as for ``link``.  Trials go through the
-    deterministic engine: serial and ``--workers N`` results are
-    bit-for-bit identical.
+    ``--metrics-out`` work as for ``link``.  ``--ledger-out`` writes the
+    first trial's per-node airtime ledger as JSON and ``--timeline-out``
+    its net event trace as JSONL (both accept ``-`` for stdout; either
+    flag attaches a :class:`repro.net.lens.NetLens` to every trial, so
+    the summary JSON also gains ``ledger``/``profile`` sections).
+    Trials go through the deterministic engine: serial and
+    ``--workers N`` results are bit-for-bit identical.
 ``obs summarize trace.jsonl``
     Analyse a recorded trace offline: per-stage latency percentiles,
-    exchange span coverage, and the failure-cause breakdown.
+    exchange span coverage, the failure-cause breakdown, and — for
+    net-lens traces — event counts and net frame outcomes.
+``obs timeline trace.jsonl [--width N]``
+    Render per-node ASCII airtime timelines and a channel-utilization
+    table from a net-lens event trace.
 
 Global flags: ``--log-level debug|info|warning|error`` and ``--quiet``
 control the ``repro.*`` logger hierarchy (diagnostics go to stderr;
@@ -107,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
     net_run.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="export the metrics registry (Prometheus text; "
                               "JSON if PATH ends with .json)")
+    net_run.add_argument("--ledger-out", default=None, metavar="PATH",
+                         help="write the first trial's per-node airtime "
+                              "ledger as JSON ('-' for stdout)")
+    net_run.add_argument("--timeline-out", default=None, metavar="PATH",
+                         help="write the first trial's net event trace as "
+                              "JSONL ('-' for stdout; feed to "
+                              "'repro obs timeline')")
 
     link = sub.add_parser("link", help="run a closed-loop CoS session")
     link.add_argument("--snr", type=float, default=15.0, help="measured SNR in dB")
@@ -129,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     summ.add_argument("trace", help="path to a trace.jsonl produced by --trace-out")
     summ.add_argument("--json", action="store_true",
                       help="emit a machine-readable JSON summary")
+    tl = obs_sub.add_parser(
+        "timeline", help="ASCII per-node airtime timelines from a net trace"
+    )
+    tl.add_argument("trace", help="path to a JSONL net event trace "
+                                  "(e.g. from 'repro net run --timeline-out')")
+    tl.add_argument("--width", type=int, default=72, metavar="N",
+                    help="timeline width in cells (default: 72)")
 
     report = sub.add_parser("report", help="run experiments and write a markdown report")
     report.add_argument("path", nargs="?", default="RESULTS.md")
@@ -251,10 +273,13 @@ def _cmd_net(args) -> int:
     if args.control is not None:
         spec = spec.with_control(args.control)
 
+    # Either observability export needs a NetLens riding every trial.
+    lens = True if (args.ledger_out or args.timeline_out) else None
     session = obs.configure(trace_out=args.trace_out) if args.trace_out else None
     try:
         results = run_scenario_sweep(
-            spec, n_trials=args.trials, seed=args.seed, workers=args.workers
+            spec, n_trials=args.trials, seed=args.seed, workers=args.workers,
+            lens=lens,
         )
     finally:
         if session is not None:
@@ -292,6 +317,26 @@ def _cmd_net(args) -> int:
             with open(args.json, "w", encoding="utf-8") as fh:
                 fh.write(text + "\n")
             log.info("summary written to %s", args.json)
+    if args.ledger_out:
+        ledger = dict(results[0].ledger or {})
+        ledger["scenario"] = summary["scenario"]
+        ledger["control"] = summary["control"]
+        text = json.dumps(ledger, indent=2)
+        if args.ledger_out == "-":
+            print(text)
+        else:
+            with open(args.ledger_out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            log.info("airtime ledger written to %s", args.ledger_out)
+    if args.timeline_out:
+        events = results[0].events or []
+        lines = "".join(json.dumps(ev) + "\n" for ev in events)
+        if args.timeline_out == "-":
+            sys.stdout.write(lines)
+        else:
+            with open(args.timeline_out, "w", encoding="utf-8") as fh:
+                fh.write(lines)
+            log.info("net event trace written to %s", args.timeline_out)
     if args.metrics_out:
         registry = obs.get_registry()
         if args.metrics_out.endswith(".json"):
@@ -345,6 +390,11 @@ def _cmd_link(args) -> int:
 def _cmd_obs(args) -> int:
     import repro.obs as obs
 
+    if args.obs_command == "timeline":
+        print(obs.render_timeline(obs.read_jsonl(args.trace),
+                                  width=args.width))
+        return 0
+
     summary = obs.summarize_trace(args.trace)
     if args.json:
         import dataclasses
@@ -356,6 +406,9 @@ def _cmd_obs(args) -> int:
             "n_spans": summary.n_spans,
             "n_flights": summary.n_flights,
             "n_events": summary.n_events,
+            "n_net_events": summary.n_net_events,
+            "net_events": summary.net_events,
+            "net_causes": summary.net_causes,
             "exchange_total_s": summary.exchange_total_s,
             "exchange_coverage": summary.exchange_coverage,
         }, indent=2))

@@ -14,6 +14,7 @@ intervals.
 Layering (top to bottom)::
 
     simulator   NetSimulator / run_scenario / run_scenario_sweep
+    lens        NetLens: airtime ledger, event trace, dispatch profiler
     scenario    declarative ScenarioSpec (JSON-serialisable, picklable)
     control     ControlPlane: explicit frames vs CoS piggyback
     mac         NodeMac: per-node DCF (shared BackoffState with mac.dcf)
@@ -41,6 +42,7 @@ from repro.net.scenario import (
     NodeSpec,
     ScenarioSpec,
 )
+from repro.net.lens import EventProfiler, NetLens
 from repro.net.scenarios import BUILTIN_SCENARIOS, builtin_scenario
 from repro.net.simulator import (
     NetResult,
@@ -70,6 +72,8 @@ __all__ = [
     "MobilitySpec",
     "InterfererSpec",
     "ScenarioSpec",
+    "EventProfiler",
+    "NetLens",
     "BUILTIN_SCENARIOS",
     "builtin_scenario",
     "NetResult",

@@ -88,6 +88,7 @@ class ControlPlane:
         cos_delivery_prob: Optional[float] = None,
         cos_fidelity: str = "table",
         max_embed_per_frame: int = 4,
+        lens=None,
     ) -> None:
         if mode not in ("explicit", "cos"):
             raise ValueError(f"unknown control mode {mode!r}")
@@ -102,6 +103,7 @@ class ControlPlane:
         self.cos_delivery_prob = cos_delivery_prob
         self.cos_fidelity = cos_fidelity
         self.max_embed_per_frame = max_embed_per_frame
+        self.lens = lens  # optional repro.net.lens.NetLens (None = free)
 
         self._macs: Dict[str, object] = {}
         self._rates: Dict[Tuple[str, str], int] = {}
@@ -174,6 +176,8 @@ class ControlPlane:
         )
         self._next_id += 1
         self.collector.on_control_generated(msg)
+        if self.lens is not None:
+            self.lens.on_control_generated(msg, self.mode, now)
         if self.mode == "explicit":
             from repro.net.mac import NetFrame  # circular at import time
 
@@ -212,6 +216,8 @@ class ControlPlane:
         # alone would systematically overshoot.
         self._rates[(msg.dst, msg.src)] = self.adapter.select(msg.sinr_db).mbps
         self.collector.on_control_delivered(msg, now)
+        if self.lens is not None:
+            self.lens.on_control_delivered(msg, self.mode, now)
 
     def pending_count(self) -> int:
         return sum(len(v) for v in self._pending.values())

@@ -79,6 +79,7 @@ class NodeMac:
         control_plane,
         collector,
         max_retries: int = MAX_RETRIES,
+        lens=None,
     ) -> None:
         self.name = name
         self.medium = medium
@@ -87,6 +88,7 @@ class NodeMac:
         self.control_plane = control_plane
         self.collector = collector
         self.max_retries = max_retries
+        self.lens = lens  # optional repro.net.lens.NetLens (None = free)
 
         self.queue: List[NetFrame] = []
         self.backoff = BackoffState()
@@ -134,12 +136,16 @@ class NodeMac:
         self._countdown_event = self.scheduler.after(
             DIFS_US + self.backoff.slots * SLOT_US, self._countdown_done
         )
+        if self.lens is not None:
+            self.lens.on_backoff(self.name, True, self.scheduler.now_us)
 
     def _pause_countdown(self) -> None:
         if self._countdown_event is None:
             return
         self.scheduler.cancel(self._countdown_event)
         self._countdown_event = None
+        if self.lens is not None:
+            self.lens.on_backoff(self.name, False, self.scheduler.now_us)
         idle_us = self.scheduler.now_us - self._countdown_started_us - DIFS_US
         if idle_us > 0:
             consumed = int(math.floor(idle_us / SLOT_US + 1e-9))
@@ -154,6 +160,8 @@ class NodeMac:
 
     def _countdown_done(self) -> None:
         self._countdown_event = None
+        if self.lens is not None:
+            self.lens.on_backoff(self.name, False, self.scheduler.now_us)
         if self._current_tx is not None:
             # Our own ACK pre-empted the tail of the countdown; re-arm a
             # zero-slot countdown after the transmission completes.
@@ -209,6 +217,8 @@ class NodeMac:
             self.queue.pop(0)
             self.backoff.reset()
             self.collector.on_drop(self.name, frame, self.scheduler.now_us)
+            if self.lens is not None:
+                self.lens.on_drop(self.name, frame, self.scheduler.now_us)
         else:
             self.backoff.on_failure()
         self._maybe_contend()
@@ -248,6 +258,8 @@ class NodeMac:
         frame = self.queue.pop(0)
         self.backoff.reset()
         self.collector.on_delivered(self.name, frame, now)
+        if self.lens is not None:
+            self.lens.on_deliver(self.name, frame, now)
         self.control_plane.on_frame_acked(frame, now)
         self._maybe_contend()
 

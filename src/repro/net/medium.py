@@ -94,12 +94,14 @@ class Medium:
         reception: ReceptionModel,
         rng: np.random.Generator,
         on_outcome: Optional[Callable[[Transmission, bool, float, str], None]] = None,
+        lens=None,
     ) -> None:
         self.topology = topology
         self.scheduler = scheduler
         self.reception = reception
         self.rng = rng
         self.on_outcome = on_outcome
+        self.lens = lens  # optional repro.net.lens.NetLens (None = free)
         self._macs: Dict[str, MacListener] = {}
         self._active: List[Transmission] = []
         self._busy: Dict[str, bool] = {}
@@ -164,6 +166,8 @@ class Medium:
 
         self._active.append(tx)
         self.airtime_us[tx.kind] = self.airtime_us.get(tx.kind, 0.0) + tx.duration_us
+        if self.lens is not None:
+            self.lens.on_tx_start(tx, now)
         # Ends fire before same-instant starts (priority -1) so a frame
         # beginning exactly as another ends is not counted as overlap.
         self.scheduler.at(tx.end_us, self._end, tx, priority=-1)
@@ -181,6 +185,8 @@ class Medium:
             else:
                 ok, reason = self.reception.decide(sinr, tx.rate_mbps, self.rng)
 
+        if self.lens is not None:
+            self.lens.on_tx_end(tx, self.scheduler.now_us, ok, sinr, reason)
         sender = self._macs.get(tx.src)
         if sender is not None:
             sender.on_tx_end(tx)
@@ -201,4 +207,6 @@ class Medium:
             busy = self.locally_busy(name)
             if busy != self._busy[name]:
                 self._busy[name] = busy
+                if self.lens is not None:
+                    self.lens.on_channel_state(name, busy, self.scheduler.now_us)
                 mac.on_channel_state(busy)

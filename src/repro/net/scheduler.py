@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, List, Tuple
+import time
+from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Event", "EventScheduler"]
 
@@ -50,6 +51,10 @@ class EventScheduler:
         self._seq = 0
         self.now_us: float = 0.0
         self.n_dispatched: int = 0
+        #: Optional dispatch profiler (``record(fn, dt_s)``) — installed
+        #: by a profiling :class:`repro.net.lens.NetLens`.  When ``None``
+        #: (the default) the loop pays one attribute load per event.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,7 +108,13 @@ class EventScheduler:
             heapq.heappop(self._heap)
             self.now_us = time_us
             self.n_dispatched += 1
-            event.fn(*event.args)
+            profiler = self.profiler
+            if profiler is None:
+                event.fn(*event.args)
+            else:
+                t0 = time.perf_counter()
+                event.fn(*event.args)
+                profiler.record(event.fn, time.perf_counter() - t0)
         if until_us != math.inf:
             self.now_us = max(self.now_us, until_us)
         return self.now_us

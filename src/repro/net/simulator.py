@@ -22,6 +22,7 @@ import numpy as np
 from repro import engine
 from repro.engine.spec import TrialSpec
 from repro.net.control import ControlPlane
+from repro.net.lens import NetLens
 from repro.net.mac import NetFrame, NodeMac
 from repro.net.medium import Medium, Transmission
 from repro.net.scenario import FlowSpec, InterfererSpec, ScenarioSpec
@@ -98,7 +99,12 @@ class NodeStats:
 
 @dataclass
 class NetResult:
-    """Everything one scenario run produced."""
+    """Everything one scenario run produced.
+
+    ``ledger`` / ``profile`` / ``events`` are populated only when the run
+    was observed by a :class:`~repro.net.lens.NetLens` (all plain dicts,
+    so they survive pickling across process-pool sweep workers).
+    """
 
     scenario: str
     control: str
@@ -107,6 +113,9 @@ class NetResult:
     per_node: Dict[str, NodeStats]
     airtime_us: Dict[str, float]
     n_events: int
+    ledger: Optional[Dict] = None
+    profile: Optional[Dict] = None
+    events: Optional[List[Dict]] = None
 
     def goodput_mbps(self, node: str) -> float:
         if self.elapsed_us <= 0:
@@ -141,7 +150,10 @@ class NetResult:
         return sum(s.failures for s in self.per_node.values())
 
     def to_dict(self) -> Dict:
-        return {
+        """The canonical JSON shape — CLI ``--json``, sweep summaries, and
+        tests all derive from this one method so exported fields never
+        drift between surfaces."""
+        out = {
             "scenario": self.scenario,
             "control": self.control,
             "duration_us": self.duration_us,
@@ -172,6 +184,11 @@ class NetResult:
                 for name, stats in self.per_node.items()
             },
         }
+        if self.ledger is not None:
+            out["ledger"] = self.ledger
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
 
 class _Collector:
@@ -238,21 +255,35 @@ class _Collector:
 
 
 class NetSimulator:
-    """One scenario, one RNG, one run."""
+    """One scenario, one RNG, one run.
 
-    def __init__(self, spec: ScenarioSpec, rng: RngLike = None) -> None:
+    ``lens`` optionally attaches a :class:`~repro.net.lens.NetLens` for
+    airtime ledgers / event tracing / throughput profiling.  The lens
+    never consumes the RNG, so an observed run is bit-for-bit identical
+    to an unobserved one; when ``lens`` is ``None`` every hook site
+    degrades to a single attribute-is-None check.
+    """
+
+    def __init__(self, spec: ScenarioSpec, rng: RngLike = None,
+                 lens: Optional[NetLens] = None) -> None:
         self.spec = spec
         self.rng = make_rng(rng)
+        self.lens = lens
         self.scheduler = EventScheduler()
         self.topology = spec.topology()
         reception = ReceptionModel(
             capture_threshold_db=spec.radio.capture_threshold_db,
             error_model=SigmoidErrorModel(),
         )
+        if lens is not None:
+            lens.bind([n.name for n in spec.nodes])
+            if lens.profile:
+                self.scheduler.profiler = lens.profiler
         self.collector = _Collector([n.name for n in spec.nodes])
         self.medium = Medium(
             self.topology, self.scheduler, reception, self.rng,
             on_outcome=self.collector.on_outcome,
+            lens=lens,
         )
         self.control_plane = ControlPlane(
             mode=spec.control,
@@ -263,6 +294,7 @@ class NetSimulator:
             cos_delivery_prob=spec.cos_delivery_prob,
             cos_fidelity=spec.cos_fidelity,
             max_embed_per_frame=spec.max_embed_per_frame,
+            lens=lens,
         )
         self.macs: Dict[str, NodeMac] = {}
         for node in spec.nodes:
@@ -273,6 +305,7 @@ class NetSimulator:
                 rng=self.rng,
                 control_plane=self.control_plane,
                 collector=self.collector,
+                lens=lens,
             )
         self.control_plane.bind(self.macs)
         for flow in spec.flows:
@@ -315,11 +348,14 @@ class NetSimulator:
     # ------------------------------------------------------------------
 
     def run(self) -> NetResult:
+        lens = self.lens
+        if lens is not None:
+            lens.on_run_start()
         with span("net.scenario", scenario=self.spec.name,
                   control=self.spec.control, nodes=len(self.spec.nodes)):
             end_us = self.scheduler.run(until_us=self.spec.duration_us)
         elapsed = self.collector.last_activity_us or end_us
-        return NetResult(
+        result = NetResult(
             scenario=self.spec.name,
             control=self.spec.control,
             duration_us=self.spec.duration_us,
@@ -328,16 +364,37 @@ class NetSimulator:
             airtime_us=dict(self.medium.airtime_us),
             n_events=self.scheduler.n_dispatched,
         )
+        if lens is not None:
+            lens.finalize(end_us=self.scheduler.now_us,
+                          n_sched_events=self.scheduler.n_dispatched)
+            if lens.ledger:
+                result.ledger = lens.ledger_dict()
+            if lens.profile:
+                result.profile = lens.profile_dict()
+            if lens.trace:
+                result.events = lens.events
+        return result
 
 
-def run_scenario(spec: ScenarioSpec, rng: RngLike = 0) -> NetResult:
+def run_scenario(spec: ScenarioSpec, rng: RngLike = 0,
+                 lens: Optional[NetLens] = None) -> NetResult:
     """Run one scenario once (deterministic in ``(spec, rng)``)."""
-    return NetSimulator(spec, rng=rng).run()
+    return NetSimulator(spec, rng=rng, lens=lens).run()
+
+
+def _make_lens(cfg) -> Optional[NetLens]:
+    """Build a lens from a sweep-param config (True or a kwargs dict)."""
+    if not cfg:
+        return None
+    if cfg is True:
+        return NetLens()
+    return NetLens(**cfg)
 
 
 def _scenario_trial(trial: TrialSpec) -> NetResult:
     """Engine trial function: one independent realisation of the scenario."""
-    return run_scenario(trial["scenario"], rng=trial.rng())
+    return run_scenario(trial["scenario"], rng=trial.rng(),
+                        lens=_make_lens(trial.get("lens")))
 
 
 def run_scenario_sweep(
@@ -345,55 +402,71 @@ def run_scenario_sweep(
     n_trials: int = 1,
     seed: int = 0,
     workers: Optional[int] = None,
+    lens=None,
 ) -> List[NetResult]:
-    """N independent trials through the deterministic trial engine."""
-    params = [{"scenario": spec, "trial": i} for i in range(n_trials)]
+    """N independent trials through the deterministic trial engine.
+
+    ``lens`` — ``None``/``False`` (default, free), ``True``, or a dict of
+    :class:`~repro.net.lens.NetLens` kwargs — attaches a fresh lens to
+    *every* trial; ledgers/profiles/events come back on each
+    :class:`NetResult` (picklable, so this works across process pools,
+    and the lens's registry metrics fold back into the parent through
+    the engine's worker-snapshot merge).
+    """
+    params = [
+        {"scenario": spec, "trial": i, "lens": lens} for i in range(n_trials)
+    ]
     return engine.run_sweep(
         params, _scenario_trial, seed=seed, workers=workers,
         label=f"net:{spec.name}",
     )
 
 
-def _mean_or_none(values) -> Optional[float]:
-    values = [v for v in values if v is not None]
-    if not values:
+def _combine_values(values: List) -> object:
+    """Mean-over-trials combiner for one key of ``NetResult.to_dict``.
+
+    ``None`` entries are dropped (``None`` when every trial is ``None``);
+    dicts recurse over the union of keys (a key absent from one trial —
+    a loss reason that never fired, an airtime kind never transmitted —
+    counts as zero); identical values pass through unchanged (preserving
+    strings, bools, and integer counts); anything else is the float mean.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
         return None
-    return float(np.mean(values))
+    first = present[0]
+    if isinstance(first, dict):
+        keys = []
+        for v in present:
+            for k in v:
+                if k not in keys:
+                    keys.append(k)
+        out = {}
+        for k in keys:
+            sample = next(
+                (v[k] for v in present if v.get(k) is not None), None
+            )
+            missing = {} if isinstance(sample, dict) else 0
+            out[k] = _combine_values(
+                [v.get(k, missing) for v in present]
+            )
+        return out
+    if all(v == first for v in present):
+        return first
+    return float(np.mean(present))
 
 
 def summarize_results(results: List[NetResult]) -> Dict:
-    """Mean-over-trials summary (the ``repro net`` JSON export shape)."""
+    """Mean-over-trials summary (the ``repro net`` JSON export shape).
+
+    Derived field-by-field from :meth:`NetResult.to_dict`, so every
+    surface that exports a result — single-trial CLI JSON, multi-trial
+    sweeps, ledger/profile extensions — carries exactly the same keys and
+    none can drift from the canonical shape.
+    """
     if not results:
         raise ValueError("no results to summarize")
-    first = results[0]
-    node_names = list(first.per_node)
-    per_node = {}
-    for name in node_names:
-        per_node[name] = {
-            "goodput_mbps": float(np.mean([r.goodput_mbps(name) for r in results])),
-            "delivery_ratio": float(np.mean(
-                [r.per_node[name].delivery_ratio for r in results])),
-            "completion_ratio": float(np.mean(
-                [r.per_node[name].completion_ratio for r in results])),
-            "mean_control_latency_us": float(np.mean(
-                [r.per_node[name].mean_control_latency_us for r in results])),
-            "mean_sinr_db": _mean_or_none(
-                [r.per_node[name].mean_sinr_db for r in results]),
-            "control_delivered": float(np.mean(
-                [r.per_node[name].control_delivered for r in results])),
-            "control_generated": float(np.mean(
-                [r.per_node[name].control_generated for r in results])),
-        }
-    return {
-        "scenario": first.scenario,
-        "control": first.control,
-        "n_trials": len(results),
-        "aggregate_goodput_mbps": float(np.mean(
-            [r.aggregate_goodput_mbps for r in results])),
-        "fairness": float(np.mean([r.fairness for r in results])),
-        "collisions": float(np.mean([r.collisions for r in results])),
-        "control_airtime_fraction": float(np.mean(
-            [r.control_airtime_fraction for r in results])),
-        "elapsed_us": float(np.mean([r.elapsed_us for r in results])),
-        "per_node": per_node,
-    }
+    dicts = [r.to_dict() for r in results]
+    summary = _combine_values(dicts)
+    summary["n_trials"] = len(results)
+    return summary

@@ -29,7 +29,12 @@ from typing import Optional, Union
 
 from repro.obs import flight as _flight
 from repro.obs import trace as _trace
-from repro.obs.flight import FlightRecord, FlightRecorder, classify_failure
+from repro.obs.flight import (
+    FlightRecord,
+    FlightRecorder,
+    classify_failure,
+    classify_net_failure,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
     Counter,
@@ -39,13 +44,21 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
-from repro.obs.sink import JsonlSink, MemorySink, NullSink, Sink, read_jsonl
+from repro.obs.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    read_jsonl,
+)
 from repro.obs.summarize import (
     TraceSummary,
     format_summary,
     summarize_events,
     summarize_trace,
 )
+from repro.obs.timeline import extract_intervals, render_timeline
 from repro.obs.trace import Tracer, current_tracer, event, span, tracing
 
 __all__ = [
@@ -60,6 +73,7 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "NullSink",
+    "SCHEMA_VERSION",
     "read_jsonl",
     "Tracer",
     "span",
@@ -69,10 +83,13 @@ __all__ = [
     "FlightRecord",
     "FlightRecorder",
     "classify_failure",
+    "classify_net_failure",
     "TraceSummary",
     "summarize_events",
     "summarize_trace",
     "format_summary",
+    "extract_intervals",
+    "render_timeline",
     "ObsSession",
     "configure",
     "shutdown",

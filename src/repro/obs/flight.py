@@ -34,18 +34,30 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.obs.sink import MemorySink, Sink
+from repro.obs.sink import SCHEMA_VERSION, MemorySink, Sink
 
 __all__ = [
     "FlightRecord",
     "FlightRecorder",
     "classify_failure",
+    "classify_net_failure",
     "enable",
     "disable",
     "current_recorder",
 ]
 
 FAILURE_CAUSES = ("ok", "signal_loss", "crc_fail", "feedback_loss", "detection_miss")
+
+#: Net-layer extension of the taxonomy: why a *frame* (not a CoS
+#: exchange) died in the multi-node simulator.  ``collision`` is a
+#: capture-gate loss (SINR below the capture threshold — a concurrent
+#: transmission won), ``channel_error`` is a noise-floor loss (SINR
+#: cleared capture but the rate-dependent error draw failed),
+#: ``rx_busy`` is a half-duplex loss (the destination was itself
+#: transmitting), and ``retry_exhausted`` is the MAC giving up after
+#: MAX_RETRIES failed exchanges.
+NET_FAILURE_CAUSES = ("ok", "collision", "channel_error", "rx_busy",
+                      "retry_exhausted")
 
 
 def classify_failure(
@@ -63,6 +75,21 @@ def classify_failure(
     if control_sent and not control_ok:
         return "feedback_loss" if control_error else "detection_miss"
     return "ok"
+
+
+def classify_net_failure(ok: bool, reason: str) -> str:
+    """Map a medium-level reception outcome onto :data:`NET_FAILURE_CAUSES`.
+
+    ``reason`` is what :meth:`repro.net.sinr.ReceptionModel.decide` (or
+    the medium's half-duplex gate) reported.  Unknown reasons collapse to
+    ``channel_error`` rather than raising, so the trace stays writable
+    when new loss modes are added below this layer.
+    """
+    if ok:
+        return "ok"
+    if reason in NET_FAILURE_CAUSES:
+        return reason
+    return "channel_error"
 
 
 @dataclass
@@ -102,6 +129,7 @@ class FlightRecord:
     def to_event(self) -> Dict:
         event = asdict(self)
         event["type"] = "flight"
+        event["schema"] = SCHEMA_VERSION
         return event
 
 

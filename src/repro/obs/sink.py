@@ -8,6 +8,13 @@ whole file; :func:`read_jsonl` is the matching reader used by
 
 Numpy scalars/arrays are converted to plain Python types on the way out,
 so instrumented code can hand over whatever it has.
+
+Every record carries a ``schema`` version field (:data:`SCHEMA_VERSION`,
+stamped at the emission sites in :mod:`repro.obs.trace`,
+:mod:`repro.obs.flight`, and :mod:`repro.net.lens`) so downstream
+tooling can evolve the formats without guessing.  :func:`read_jsonl`
+tolerates a truncated *final* line — the normal state of a trace whose
+producer crashed or was killed mid-write — instead of raising.
 """
 
 from __future__ import annotations
@@ -19,7 +26,11 @@ from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
-__all__ = ["Sink", "JsonlSink", "MemorySink", "NullSink", "read_jsonl"]
+__all__ = ["SCHEMA_VERSION", "Sink", "JsonlSink", "MemorySink", "NullSink",
+           "read_jsonl"]
+
+#: Version stamped into every emitted JSONL event record.
+SCHEMA_VERSION = 1
 
 
 def _jsonable(value):
@@ -101,10 +112,29 @@ class JsonlSink(Sink):
         self._fh = None
 
 
-def read_jsonl(path: Union[str, Path]) -> Iterator[Dict]:
-    """Yield events from a JSONL trace file, skipping blank lines."""
+def read_jsonl(path: Union[str, Path], strict: bool = False) -> Iterator[Dict]:
+    """Yield events from a JSONL trace file, skipping blank lines.
+
+    A line that fails to parse is tolerated **iff** it is the last
+    non-blank line of the file — the signature of a producer that died
+    mid-write — so crashed-run traces stay readable.  A malformed line
+    with valid records after it is real corruption and still raises
+    (always raises with ``strict=True``).
+    """
     with open(path, "r", encoding="utf-8") as fh:
+        pending: Optional[str] = None
         for line in fh:
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            if pending is not None:
+                # The bad line was not final after all: genuine corruption.
+                json.loads(pending)  # re-raise with the offending payload
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                pending = line
+                continue
+            yield record

@@ -1,0 +1,175 @@
+"""ASCII airtime timelines from net-lens event traces.
+
+``repro obs timeline trace.jsonl`` renders, without re-running any
+simulation, the picture the hidden-node story is usually told with:
+one row per transmitting node, simulation time left to right, each
+on-air interval painted with its frame kind::
+
+    == Airtime timeline (0.0 - 30000.0 us) ==
+    channel     ##### ## ########  ####...
+    ap          ....a .. a....
+    sta_hidden  DDDDD       DDDDDD
+    sta_near         DD DDD
+
+Characters: ``D`` data, ``C`` explicit control, ``a`` ACK, ``!``
+interferer burst; the ``channel`` row marks the union of all
+transmissions (``#``).  A cell covering several kinds shows the
+highest-priority one (data > control > ack > interference).
+
+Only ``type == "net"`` / ``event == "tx_start"`` records are consumed
+(they carry start time, duration, source, and kind), so any trace file
+that interleaves spans, flight records, and net events works unchanged.
+Kept import-free of higher layers: ``repro.obs`` stays at the bottom of
+the stack, and net traces arrive here as plain parsed dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["TxInterval", "extract_intervals", "render_timeline",
+           "utilization_table"]
+
+#: Paint characters by frame kind, in descending paint priority.
+KIND_CHARS = (
+    ("data", "D"),
+    ("control", "C"),
+    ("ack", "a"),
+    ("interference", "!"),
+)
+_CHAR_FOR = dict(KIND_CHARS)
+_PRIORITY = {kind: i for i, (kind, _c) in enumerate(KIND_CHARS)}
+
+
+@dataclass
+class TxInterval:
+    """One on-air interval reconstructed from a ``tx_start`` record."""
+
+    src: str
+    kind: str
+    start_us: float
+    end_us: float
+
+
+def extract_intervals(events: Iterable[dict]) -> Tuple[List[TxInterval], float]:
+    """Pull transmission intervals (and the time horizon) out of a trace.
+
+    The horizon is the latest simulation time mentioned by *any* net
+    record, so trailing silence (e.g. a drained scenario) still shows.
+    """
+    intervals: List[TxInterval] = []
+    horizon = 0.0
+    for ev in events:
+        if ev.get("type") != "net":
+            continue
+        t_us = float(ev.get("t_us", 0.0))
+        horizon = max(horizon, t_us)
+        if ev.get("event") != "tx_start":
+            continue
+        kind = ev.get("kind", "data")
+        if ev.get("dst") is None:
+            kind = "interference"
+        end = t_us + float(ev.get("duration_us", 0.0))
+        horizon = max(horizon, end)
+        intervals.append(TxInterval(
+            src=str(ev.get("src", "?")), kind=kind,
+            start_us=t_us, end_us=end,
+        ))
+    return intervals, horizon
+
+
+def _paint(row: List[Optional[str]], iv: TxInterval, t0: float,
+           us_per_cell: float) -> None:
+    lo = int((iv.start_us - t0) / us_per_cell)
+    hi = int((iv.end_us - t0) / us_per_cell)
+    # A sub-cell transmission (an ACK, usually) still gets one cell.
+    for i in range(max(lo, 0), min(hi + 1, len(row))):
+        old = row[i]
+        if old is None or _PRIORITY[iv.kind] < _PRIORITY.get(old, 99):
+            row[i] = iv.kind
+
+
+def utilization_table(intervals: Sequence[TxInterval],
+                      horizon_us: float) -> List[str]:
+    """Per-node airtime-by-kind table plus the channel-busy union."""
+    per_node: Dict[str, Dict[str, float]] = {}
+    for iv in intervals:
+        per_node.setdefault(iv.src, {})
+        per_node[iv.src][iv.kind] = (
+            per_node[iv.src].get(iv.kind, 0.0) + (iv.end_us - iv.start_us)
+        )
+    # Channel-busy union via boundary sweep.
+    busy_us = 0.0
+    edges = sorted(
+        [(iv.start_us, 1) for iv in intervals]
+        + [(iv.end_us, -1) for iv in intervals]
+    )
+    active, opened = 0, 0.0
+    for t, delta in edges:
+        if active == 0 and delta > 0:
+            opened = t
+        active += delta
+        if active == 0 and delta < 0:
+            busy_us += t - opened
+    total = horizon_us or 1.0
+
+    headers = ["node", "tx", "data us", "ctrl us", "ack us", "airtime %"]
+    rows = []
+    for name in sorted(per_node):
+        kinds = per_node[name]
+        n_tx = sum(1 for iv in intervals if iv.src == name)
+        tx_us = sum(kinds.values())
+        rows.append((
+            name, str(n_tx),
+            f"{kinds.get('data', 0.0):.0f}",
+            f"{kinds.get('control', 0.0):.0f}",
+            f"{kinds.get('ack', 0.0):.0f}",
+            f"{tx_us / total * 100:.1f}",
+        ))
+    rows.append(("(channel)", str(len(intervals)), "", "", "",
+                 f"{busy_us / total * 100:.1f}"))
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def render_timeline(events: Iterable[dict], width: int = 72) -> str:
+    """Render per-node ASCII timelines + the channel-utilization table."""
+    intervals, horizon = extract_intervals(events)
+    if not intervals:
+        return "no net tx_start events in trace"
+    width = max(int(width), 8)
+    t0 = 0.0
+    us_per_cell = (horizon - t0) / width if horizon > t0 else 1.0
+
+    nodes = sorted({iv.src for iv in intervals})
+    rows: Dict[str, List[Optional[str]]] = {n: [None] * width for n in nodes}
+    channel: List[Optional[str]] = [None] * width
+    for iv in intervals:
+        _paint(rows[iv.src], iv, t0, us_per_cell)
+        _paint(channel, iv, t0, us_per_cell)
+
+    label_w = max(len("channel"), max(len(n) for n in nodes))
+    lines = [f"== Airtime timeline ({t0:.1f} - {horizon:.1f} us, "
+             f"{us_per_cell:.1f} us/cell) =="]
+    lines.append(
+        "channel".ljust(label_w) + "  "
+        + "".join("#" if c is not None else " " for c in channel)
+    )
+    for name in nodes:
+        lines.append(
+            name.ljust(label_w) + "  "
+            + "".join(_CHAR_FOR[c] if c is not None else "." for c in rows[name])
+        )
+    legend = "  ".join(f"{c}={kind}" for kind, c in KIND_CHARS)
+    lines.append(f"({legend}; #=channel busy)")
+    lines.append("")
+    lines += utilization_table(intervals, horizon)
+    return "\n".join(lines)

@@ -30,7 +30,7 @@ import time
 from typing import Dict, Optional
 
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry, get_registry
-from repro.obs.sink import MemorySink, Sink
+from repro.obs.sink import SCHEMA_VERSION, MemorySink, Sink
 
 __all__ = [
     "NullSpan",
@@ -151,6 +151,7 @@ class Tracer:
         self._span_hist.labels(name=sp.name).observe(sp.duration_s)
         self.sink.emit({
             "type": "span",
+            "schema": SCHEMA_VERSION,
             "name": sp.name,
             "ts": sp.ts,
             "dur_s": sp.duration_s,
@@ -166,6 +167,7 @@ class Tracer:
         stack = self._stack()
         self.sink.emit({
             "type": "event",
+            "schema": SCHEMA_VERSION,
             "name": name,
             "ts": time.time(),
             "parent": stack[-1].span_id if stack else None,
