@@ -16,11 +16,14 @@ Commands
     record is written as JSONL; with ``--metrics-out metrics.prom`` the
     metrics registry is exported (Prometheus text, or JSON when the path
     ends in ``.json``).
-``net run <scenario> [--control cos|explicit] [--trials N] [--workers N]``
+``net run <scenario> [--control cos|explicit] [--medium culled|dense-exact]
+[--trials N] [--workers N]``
     Run a multi-node scenario (a ``ScenarioSpec`` JSON file or a
-    built-in name — ``net list`` shows those) on the event-driven
-    spatial simulator and print per-node goodput, delivery, control
-    latency, and fairness stats.  ``--json PATH`` exports the
+    built-in name — ``net list`` shows those, with node/BSS counts and
+    the offered traffic) on the event-driven spatial simulator and
+    print per-node goodput, delivery, control latency, and fairness
+    stats.  ``--medium`` switches between the grid-culled medium
+    (default) and the all-pairs ``dense-exact`` debug mode.  ``--json PATH`` exports the
     mean-over-trials summary (``-`` for stdout); ``--trace-out`` /
     ``--metrics-out`` work as for ``link``.  ``--ledger-out`` writes the
     first trial's per-node airtime ledger as JSON and ``--timeline-out``
@@ -101,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     net_run.add_argument("--control", choices=["cos", "explicit"], default=None,
                          help="override the scenario's control scheme")
+    net_run.add_argument("--medium", choices=["culled", "dense-exact"],
+                         default=None,
+                         help="override the scenario's medium mode "
+                              "(culled = grid-indexed interference culling; "
+                              "dense-exact = all-pairs debug semantics)")
     net_run.add_argument("--trials", type=int, default=1, metavar="N",
                          help="independent trials (engine sweep)")
     net_run.add_argument("--seed", type=int, default=0)
@@ -239,16 +247,29 @@ def _cmd_net(args) -> int:
         run_scenario_sweep,
         summarize_results,
     )
+    from repro.net.traffic import mean_rate_pps
+    from repro.utils.env import env_int
 
     log = logging.getLogger("repro.cli")
 
     if args.net_command == "list":
+        rows = []
+        for name, factory in sorted(BUILTIN_SCENARIOS.items()):
+            spec = factory()
+            backlogged = sum(f.n_packets for f in spec.flows)
+            rate = sum(mean_rate_pps(t) for t in spec.traffic)
+            traffic = (f"{rate:.0f} pps" if spec.traffic
+                       else f"{backlogged} pkts backlogged")
+            rows.append((
+                name,
+                len(spec.nodes),
+                len(spec.bsses) or "-",
+                traffic,
+                (factory.__doc__ or "").strip().splitlines()[0],
+            ))
         print_table(
-            ["scenario", "description"],
-            [
-                (name, (factory.__doc__ or "").strip().splitlines()[0])
-                for name, factory in sorted(BUILTIN_SCENARIOS.items())
-            ],
+            ["scenario", "nodes", "bsses", "traffic", "description"],
+            rows,
             title="Built-in repro.net scenarios",
         )
         return 0
@@ -272,13 +293,24 @@ def _cmd_net(args) -> int:
         return 2
     if args.control is not None:
         spec = spec.with_control(args.control)
+    if args.medium is not None:
+        spec = spec.with_medium(args.medium)
+
+    # --workers falls back to the REPRO_WORKERS environment flag (the
+    # same resolution the engine applies; made explicit here so the CLI
+    # log line reflects the effective value).
+    workers = args.workers
+    if workers is None:
+        workers = env_int("REPRO_WORKERS", 0)
+        if workers:
+            log.info("using REPRO_WORKERS=%d worker processes", workers)
 
     # Either observability export needs a NetLens riding every trial.
     lens = True if (args.ledger_out or args.timeline_out) else None
     session = obs.configure(trace_out=args.trace_out) if args.trace_out else None
     try:
         results = run_scenario_sweep(
-            spec, n_trials=args.trials, seed=args.seed, workers=args.workers,
+            spec, n_trials=args.trials, seed=args.seed, workers=workers,
             lens=lens,
         )
     finally:

@@ -37,7 +37,12 @@ from repro.net.medium import Transmission
 from repro.net.sinr import cos_delivery_prob_for
 from repro.rateadapt import RateAdapter
 
-__all__ = ["ControlMessage", "ControlPlane", "measured_cos_delivery_prob"]
+__all__ = [
+    "ControlMessage",
+    "ControlPlane",
+    "ControlRouter",
+    "measured_cos_delivery_prob",
+]
 
 _PHY_PROB_CACHE: Dict[int, float] = {}
 
@@ -221,3 +226,70 @@ class ControlPlane:
 
     def pending_count(self) -> int:
         return sum(len(v) for v in self._pending.values())
+
+
+class ControlRouter:
+    """Per-BSS control-plane dispatch behind the :class:`ControlPlane` API.
+
+    Multi-BSS scenarios get one independent ``ControlPlane`` per AP —
+    each BSS adapts its rates and queues its feedback in isolation, so a
+    congested cell cannot perturb another cell's control state.  The
+    router resolves the owning plane per frame/message:
+
+    * the frame's AP endpoint (src or dst is an AP) names the BSS;
+    * otherwise the *current association* of the source station does —
+      a station that roams carries its open feedback conversation to
+      the new AP's plane;
+    * unassociated traffic (none of the above) falls back to a shared
+      default plane, which is also what single-BSS scenarios use
+      directly, without a router.
+
+    The interface is the exact five methods :class:`~repro.net.mac
+    .NodeMac` and the simulator call on a plane, so the MAC stays
+    ignorant of whether it talks to one plane or many.
+    """
+
+    def __init__(self, planes: Dict[str, ControlPlane],
+                 default: ControlPlane, assoc_of) -> None:
+        self.planes = dict(planes)  # AP name -> its BSS's plane
+        self.default = default
+        self.assoc_of = assoc_of  # station -> AP name (or None)
+
+    def _plane_for(self, src: str, dst: Optional[str]) -> ControlPlane:
+        plane = self.planes.get(src)
+        if plane is not None:
+            return plane
+        if dst is not None:
+            plane = self.planes.get(dst)
+            if plane is not None:
+                return plane
+        ap = self.assoc_of(src)
+        if ap is not None:
+            plane = self.planes.get(ap)
+            if plane is not None:
+                return plane
+        return self.default
+
+    # -- the ControlPlane interface ------------------------------------
+
+    def rate_for(self, src: str, dst: str) -> int:
+        return self._plane_for(src, dst).rate_for(src, dst)
+
+    def attach(self, frame) -> None:
+        self._plane_for(frame.src, frame.dst).attach(frame)
+
+    def on_frame_received(self, tx: Transmission, sinr_db: float,
+                          now: float) -> None:
+        self._plane_for(tx.src, tx.dst).on_frame_received(tx, sinr_db, now)
+
+    def on_frame_acked(self, frame, now: float) -> None:
+        self._plane_for(frame.src, frame.dst).on_frame_acked(frame, now)
+
+    def bind(self, macs: Dict[str, object]) -> None:
+        for plane in self.planes.values():
+            plane.bind(macs)
+        self.default.bind(macs)
+
+    def pending_count(self) -> int:
+        return (sum(p.pending_count() for p in self.planes.values())
+                + self.default.pending_count())

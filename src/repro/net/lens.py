@@ -28,7 +28,8 @@ Three instruments, independently switchable:
 
 * **Event trace** (``trace=True``) — schema-versioned ``"net"`` records
   (``tx_start`` / ``tx_end`` / ``drop`` / ``deliver`` /
-  ``control_generated`` / ``control_piggyback`` / ``control_delivered``)
+  ``control_generated`` / ``control_piggyback`` / ``control_delivered`` /
+  ``assoc``)
   carrying simulation time (``t_us``) and, when ``wall_clock=True``,
   wall time (``wall_ts``).  Records are kept on :attr:`NetLens.events`
   (sim-deterministic: byte-identical across executors once sorted by
@@ -79,6 +80,7 @@ NET_EVENT_NAMES = (
     "control_generated",
     "control_piggyback",
     "control_delivered",
+    "assoc",
 )
 
 #: Mutually exclusive per-node airtime states (priority order).
@@ -190,6 +192,7 @@ class NetLens:
         self.profiler = EventProfiler() if profile else None
 
         self._nodes: Dict[str, _NodeLedger] = {}
+        self._bss_of: Dict[str, str] = {}
         self._seq = 0
         # Channel-busy union: count of in-flight transmissions.
         self._active = 0
@@ -208,9 +211,18 @@ class NetLens:
     # Lifecycle (called by NetSimulator)
     # ------------------------------------------------------------------
 
-    def bind(self, node_names) -> None:
-        """Register the MAC-bearing nodes the ledger accounts for."""
+    def bind(self, node_names, bss_of=None) -> None:
+        """Register the MAC-bearing nodes the ledger accounts for.
+
+        ``bss_of`` maps node name -> serving-AP name at scenario start
+        (APs map to themselves).  When provided, trace ``tx_start``
+        records are stamped with the transmitter's home BSS and
+        :meth:`ledger_dict` adds a ``per_bss`` airtime rollup.  The map
+        is the *initial* association — roams are visible as ``assoc``
+        trace events, not as mid-run rebinning of the ledger.
+        """
         self._nodes = {name: _NodeLedger() for name in node_names}
+        self._bss_of = dict(bss_of) if bss_of else {}
 
     def on_run_start(self) -> None:
         self._wall_t0 = time.perf_counter()
@@ -247,11 +259,14 @@ class NetLens:
             node.tx_kind = tx.kind
             node.transition(now_us)  # zero-length: re-resolve to "tx"
         if self.trace:
-            self._emit({
+            record = {
                 "event": "tx_start", "t_us": now_us, "src": tx.src,
                 "dst": tx.dst, "kind": tx.kind, "rate_mbps": tx.rate_mbps,
                 "duration_us": tx.duration_us,
-            })
+            }
+            if self._bss_of:
+                record["bss"] = self._bss_of.get(tx.src)
+            self._emit(record)
             frame = tx.frame
             if frame is not None and frame.cos_msgs:
                 self._emit({
@@ -316,6 +331,20 @@ class NetLens:
             })
 
     # ------------------------------------------------------------------
+    # BSS hooks
+    # ------------------------------------------------------------------
+
+    def on_assoc(self, station: str, ap: str, prev: Optional[str],
+                 rssi_db: float, now_us: float) -> None:
+        """A station (re-)associated: ``prev is None`` = initial join."""
+        if self.trace:
+            self._emit({
+                "event": "assoc", "t_us": now_us, "src": station,
+                "dst": ap, "prev": prev, "rssi_db": float(rssi_db),
+                "roam": prev is not None,
+            })
+
+    # ------------------------------------------------------------------
     # Control-plane hooks
     # ------------------------------------------------------------------
 
@@ -371,6 +400,7 @@ class NetLens:
                 "tx_data_us": kinds.get("data", 0.0),
                 "tx_control_us": kinds.get("control", 0.0),
                 "tx_ack_us": kinds.get("ack", 0.0),
+                "tx_beacon_us": kinds.get("beacon", 0.0),
                 "busy_us": node.acc_us["busy"],
                 "backoff_us": node.acc_us["backoff"],
                 "idle_us": node.acc_us["idle"],
@@ -378,7 +408,7 @@ class NetLens:
             }
         contended = sum(v for k, v in self.airtime_by_kind_us.items()
                         if k != "interference")
-        return {
+        out = {
             "schema": SCHEMA_VERSION,
             "duration_us": self.duration_us,
             "channel_busy_us": self.channel_busy_us,
@@ -390,6 +420,21 @@ class NetLens:
             ),
             "per_node": per_node,
         }
+        if self._bss_of:
+            per_bss: Dict[str, Dict[str, float]] = {}
+            keys = ("tx_us", "tx_data_us", "tx_control_us", "tx_ack_us",
+                    "tx_beacon_us", "busy_us", "backoff_us", "idle_us")
+            for name, row in per_node.items():
+                bss = self._bss_of.get(name)
+                if bss is None:
+                    continue
+                agg = per_bss.setdefault(
+                    bss, {k: 0.0 for k in keys} | {"n_nodes": 0})
+                agg["n_nodes"] += 1
+                for k in keys:
+                    agg[k] += row[k]
+            out["per_bss"] = {b: per_bss[b] for b in sorted(per_bss)}
+        return out
 
     def profile_dict(self) -> Dict:
         """Simulator-throughput report (call after finalize)."""

@@ -51,11 +51,15 @@ ACK_TIMEOUT_SLACK_US = 3 * SLOT_US
 
 @dataclass
 class NetFrame:
-    """A queued MAC frame in the multi-node simulator."""
+    """A queued MAC frame in the multi-node simulator.
 
-    kind: str  # "data" | "control"
+    ``dst`` is ``None`` for broadcast frames (beacons): they contend and
+    transmit like any frame but are never ACKed or retried.
+    """
+
+    kind: str  # "data" | "control" | "ack" | "beacon"
     src: str
-    dst: str
+    dst: Optional[str]
     payload_octets: int
     created_us: float
     retries: int = 0
@@ -89,6 +93,10 @@ class NodeMac:
         self.collector = collector
         self.max_retries = max_retries
         self.lens = lens  # optional repro.net.lens.NetLens (None = free)
+
+        #: Association sink for received beacons (wired by the simulator
+        #: when the scenario defines BSSes; ``None`` = ignore beacons).
+        self.beacon_sink = None
 
         self.queue: List[NetFrame] = []
         self.backoff = BackoffState()
@@ -179,7 +187,7 @@ class NodeMac:
         if frame.kind == "data":
             rate = self.control_plane.rate_for(frame.src, frame.dst)
             duration = frame_airtime_us(frame.payload_octets, RATE_TABLE[rate])
-        else:  # explicit control frame: base rate, like 802.11 management
+        else:  # control/beacon frame: base rate, like 802.11 management
             rate = BASE_RATE_MBPS
             duration = frame_airtime_us(frame.payload_octets, RATE_TABLE[rate])
         self.control_plane.attach(frame)
@@ -203,6 +211,11 @@ class NodeMac:
             self._ack_timeout_event = self.scheduler.after(
                 SIFS_US + ACK_US + ACK_TIMEOUT_SLACK_US, self._ack_timeout
             )
+        elif tx.kind == "beacon":
+            # Broadcast: no ACK, no retry — the frame completes here.
+            self.queue.pop(0)
+            self.backoff.reset()
+            self._maybe_contend()
         else:  # our ACK is out; resume whatever we were doing
             self._maybe_contend()
 
@@ -226,6 +239,12 @@ class NodeMac:
     # ------------------------------------------------------------------
     # Reception
     # ------------------------------------------------------------------
+
+    def on_beacon(self, ap: str, rssi_dbm: float, channel: int) -> None:
+        """A beacon decoded at this node (deterministic energy gate)."""
+        if self.beacon_sink is not None:
+            self.beacon_sink.on_beacon(self.name, ap, rssi_dbm, channel,
+                                       self.scheduler.now_us)
 
     def on_receive(self, tx: Transmission, ok: bool, sinr_db: float,
                    reason: str) -> None:

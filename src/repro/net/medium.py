@@ -20,7 +20,36 @@ the three physical facts the MAC layer consumes:
 
 Interferer bursts are ordinary :class:`Transmission` records with
 ``dst=None`` — they deposit sensed power and interference but are never
-received.
+received.  Beacons are ``dst=None`` too, but additionally fan out to
+every listener that receives them above the carrier-sense threshold
+(deterministic energy-gate decode — no RNG draw, so legacy scenarios'
+random streams are untouched).
+
+Two operating modes (``mode=``):
+
+* ``"culled"`` (default) — when a transmission starts, its received
+  power at every *relevant* listener (grid-indexed neighbourhood, see
+  :meth:`~repro.net.topology.Topology.neighbors_of`, with contributions
+  below ``RadioSpec.interference_floor_dbm`` dropped) is computed once
+  and frozen in a per-transmission contribution map.  Carrier-sense
+  sums, interference accumulation, and carrier-state fan-out then cost
+  dict lookups over that local set instead of all-pairs log-distance
+  math — sub-linear per reception attempt once the deployment outgrows
+  the relevance radius.  With ``interference_floor_dbm = -inf`` the
+  relevant set is every node and the frozen values equal the fresh
+  ones for static topologies, making culled mode bit-for-bit identical
+  to the dense path.
+* ``"dense-exact"`` — today's all-pairs semantics, recomputing every
+  power from the topology at query time.  The equivalence oracle for
+  tests.  Pairs touching a *mobile* node are excluded from the frozen
+  maps and recomputed fresh at every query in culled mode too (mobiles
+  are few and always in the culled visit set), so the two modes agree
+  bit-for-bit even while nodes are moving.
+
+Per-node channels: ``set_channel`` assigns a node to a channel index;
+cross-channel power is attenuated ``adjacent_rejection_db`` per channel
+step in both sensing and interference.  All nodes default to channel 0,
+which keeps single-BSS scenarios exactly on the legacy numbers.
 """
 
 from __future__ import annotations
@@ -33,7 +62,9 @@ from repro.net.scheduler import EventScheduler
 from repro.net.sinr import ReceptionModel, dbm_to_mw, mw_to_dbm
 from repro.net.topology import Topology
 
-__all__ = ["Transmission", "Medium"]
+__all__ = ["Transmission", "Medium", "MEDIUM_MODES"]
+
+MEDIUM_MODES = ("culled", "dense-exact")
 
 
 class Transmission:
@@ -42,7 +73,7 @@ class Transmission:
     __slots__ = (
         "src", "dst", "kind", "rate_mbps", "duration_us", "payload_bits",
         "frame", "acks", "start_us", "end_us", "signal_dbm",
-        "interference_mw", "rx_busy",
+        "interference_mw", "rx_busy", "contrib",
     )
 
     def __init__(
@@ -69,6 +100,9 @@ class Transmission:
         self.signal_dbm = 0.0
         self.interference_mw = 0.0
         self.rx_busy = False
+        #: Culled mode: {listener -> rx power mW}, frozen at TX start
+        #: (static pairs only — mobile pairs are recomputed per query).
+        self.contrib: Optional[Dict[str, float]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Transmission {self.kind} {self.src}->{self.dst} "
@@ -82,6 +116,7 @@ class MacListener(Protocol):  # pragma: no cover - typing only
     def on_tx_end(self, tx: Transmission) -> None: ...
     def on_receive(self, tx: Transmission, ok: bool, sinr_db: float,
                    reason: str) -> None: ...
+    def on_beacon(self, ap: str, rssi_dbm: float, channel: int) -> None: ...
 
 
 class Medium:
@@ -95,37 +130,119 @@ class Medium:
         rng: np.random.Generator,
         on_outcome: Optional[Callable[[Transmission, bool, float, str], None]] = None,
         lens=None,
+        mode: str = "culled",
     ) -> None:
+        if mode not in MEDIUM_MODES:
+            raise ValueError(f"unknown medium mode {mode!r}")
         self.topology = topology
         self.scheduler = scheduler
         self.reception = reception
         self.rng = rng
         self.on_outcome = on_outcome
         self.lens = lens  # optional repro.net.lens.NetLens (None = free)
+        self.mode = mode
+        self._culled = mode == "culled"
+        self._floor_dbm = topology.radio.interference_floor_dbm
+        #: Nodes that are (ever) mobile: their pairwise powers change
+        #: over time, so they are never frozen into contribution maps.
+        #: Snapshotted at init — a walker pinned mid-run by
+        #: ``Topology.invalidate`` keeps its fresh-compute treatment for
+        #: consistency across the whole run.
+        self._mobile = frozenset(
+            n for n in topology.names if topology.is_mobile(n)
+        )
         self._macs: Dict[str, MacListener] = {}
-        self._active: List[Transmission] = []
+        self._mac_order: Dict[str, int] = {}  # registration index
         self._busy: Dict[str, bool] = {}
-        #: Airtime by kind (data / control / ack / interference), µs.
+        #: Per-node channel index (absent = 0); see :meth:`set_channel`.
+        self.channel: Dict[str, int] = {}
+        self._tx_count: Dict[str, int] = {}  # node -> its in-flight count
+        self._active: List[Transmission] = []
+        #: Airtime by kind (data / control / ack / beacon / interference), µs.
         self.airtime_us: Dict[str, float] = {}
 
     def register(self, mac: MacListener) -> None:
         if mac.name in self._macs:
             raise ValueError(f"duplicate MAC for node {mac.name!r}")
+        self._mac_order[mac.name] = len(self._macs)
         self._macs[mac.name] = mac
         self._busy[mac.name] = False
+
+    # ------------------------------------------------------------------
+    # Channels
+    # ------------------------------------------------------------------
+
+    def set_channel(self, name: str, ch: int) -> None:
+        """Assign ``name`` to channel ``ch`` (roaming / BSS setup).
+
+        In culled mode every active transmission's frozen contribution
+        at this listener is recomputed under the new channel rejection,
+        then the listener's carrier state is re-evaluated — so a station
+        that roams to a quieter channel goes locally idle immediately.
+        """
+        old = self.channel.get(name, 0)
+        ch = int(ch)
+        if ch == old:
+            return
+        self.channel[name] = ch
+        if not self._active:
+            return
+        if self._culled:
+            if name not in self._mobile:
+                floor = self._floor_dbm
+                for tx in self._active:
+                    if tx.src == name or tx.src in self._mobile:
+                        continue
+                    p = self._rx_dbm(tx.src, name, self.scheduler.now_us)
+                    tx.contrib.pop(name, None)
+                    if p >= floor:
+                        tx.contrib[name] = dbm_to_mw(p)
+            if name in self._macs:
+                self._update_carrier_states_for((name,))
+        else:
+            self._update_carrier_states()
+
+    def _rx_dbm(self, src: str, listener: str, t_us: float) -> float:
+        """Channel-aware received power (adjacent-channel rejection)."""
+        p = self.topology.rx_power_dbm(src, listener, t_us)
+        channels = self.channel
+        if channels:
+            dc = abs(channels.get(src, 0) - channels.get(listener, 0))
+            if dc:
+                p -= dc * self.topology.radio.adjacent_rejection_db
+        return p
 
     # ------------------------------------------------------------------
     # Sensing
     # ------------------------------------------------------------------
 
+    def _pair_mw(self, tx: Transmission, listener: str, now: float) -> float:
+        """Culled-mode power of ``tx`` at ``listener`` (mW, floor-culled).
+
+        Static pairs come from the frozen contribution map; any pair
+        touching a mobile node is recomputed at ``now`` — identical to
+        what the dense path would produce.
+        """
+        if tx.src in self._mobile or listener in self._mobile:
+            p = self._rx_dbm(tx.src, listener, now)
+            return dbm_to_mw(p) if p >= self._floor_dbm else 0.0
+        return tx.contrib.get(listener, 0.0)
+
     def sensed_power_mw(self, listener: str) -> float:
         """Aggregate power from every *other* active source at ``listener``."""
-        now = self.scheduler.now_us
         total = 0.0
-        for tx in self._active:
-            if tx.src == listener:
-                continue
-            total += dbm_to_mw(self.topology.rx_power_dbm(tx.src, listener, now))
+        if self._culled:
+            now = self.scheduler.now_us
+            for tx in self._active:
+                if tx.src == listener:
+                    continue
+                total += self._pair_mw(tx, listener, now)
+        else:
+            now = self.scheduler.now_us
+            for tx in self._active:
+                if tx.src == listener:
+                    continue
+                total += dbm_to_mw(self._rx_dbm(tx.src, listener, now))
         return total
 
     def locally_busy(self, listener: str) -> bool:
@@ -139,42 +256,79 @@ class Medium:
     # Transmission lifecycle
     # ------------------------------------------------------------------
 
+    def _contribution(self, tx: Transmission, now: float) -> Dict[str, float]:
+        """Frozen {listener -> mW} map of ``tx`` over its relevant set.
+
+        Mobile endpoints are excluded (see :meth:`_pair_mw`): a mobile
+        source freezes nothing, and mobile listeners are left out of a
+        static source's map.
+        """
+        contrib: Dict[str, float] = {}
+        if tx.src in self._mobile:
+            return contrib
+        floor = self._floor_dbm
+        macs = self._macs
+        mobile = self._mobile
+        for name in self.topology.neighbors_of(
+            tx.src, self.topology.relevance_range_m, now
+        ):
+            if (name == tx.src or name not in macs or name in contrib
+                    or name in mobile):
+                continue
+            p = self._rx_dbm(tx.src, name, now)
+            if p >= floor:
+                contrib[name] = dbm_to_mw(p)
+        return contrib
+
     def begin(self, tx: Transmission) -> None:
         """Put ``tx`` on the air; its end (and reception) is scheduled here."""
         now = self.scheduler.now_us
         tx.start_us = now
         tx.end_us = now + tx.duration_us
 
+        culled = self._culled
+        if culled:
+            contrib = tx.contrib = self._contribution(tx, now)
+
         # Cross-couple with everything already on the air.
         for other in self._active:
             if other.dst is not None:
                 if tx.src == other.dst:
                     other.rx_busy = True  # other's receiver just keyed up
+                elif culled:
+                    other.interference_mw += self._pair_mw(tx, other.dst, now)
                 else:
                     other.interference_mw += dbm_to_mw(
-                        self.topology.rx_power_dbm(tx.src, other.dst, now)
+                        self._rx_dbm(tx.src, other.dst, now)
                     )
         if tx.dst is not None:
-            tx.signal_dbm = self.topology.rx_power_dbm(tx.src, tx.dst, now)
+            tx.signal_dbm = self._rx_dbm(tx.src, tx.dst, now)
             for other in self._active:
                 if other.src == tx.dst:
                     tx.rx_busy = True  # destination is mid-transmission
+                elif culled:
+                    tx.interference_mw += self._pair_mw(other, tx.dst, now)
                 else:
                     tx.interference_mw += dbm_to_mw(
-                        self.topology.rx_power_dbm(other.src, tx.dst, now)
+                        self._rx_dbm(other.src, tx.dst, now)
                     )
 
         self._active.append(tx)
+        self._tx_count[tx.src] = self._tx_count.get(tx.src, 0) + 1
         self.airtime_us[tx.kind] = self.airtime_us.get(tx.kind, 0.0) + tx.duration_us
         if self.lens is not None:
             self.lens.on_tx_start(tx, now)
         # Ends fire before same-instant starts (priority -1) so a frame
         # beginning exactly as another ends is not counted as overlap.
         self.scheduler.at(tx.end_us, self._end, tx, priority=-1)
-        self._update_carrier_states()
+        if culled:
+            self._update_carrier_states_for(self._fanout_listeners(tx))
+        else:
+            self._update_carrier_states()
 
     def _end(self, tx: Transmission) -> None:
         self._active.remove(tx)
+        self._tx_count[tx.src] -= 1
 
         ok, sinr, reason = False, float("-inf"), "not_addressed"
         if tx.dst is not None:
@@ -196,11 +350,102 @@ class Medium:
             receiver = self._macs.get(tx.dst)
             if receiver is not None:
                 receiver.on_receive(tx, ok, sinr, reason)
-        self._update_carrier_states()
+        elif tx.kind == "beacon":
+            self._deliver_beacon(tx)
+        if self._culled:
+            self._update_carrier_states_for(self._fanout_listeners(tx))
+        else:
+            self._update_carrier_states()
+
+    def _deliver_beacon(self, tx: Transmission) -> None:
+        """Fan a finished beacon out to every listener that can decode it.
+
+        Decoding is a deterministic energy gate — *raw co-channel* RSSI
+        at or above the carrier-sense threshold and the listener not
+        itself mid-transmission.  Raw power (no adjacent-channel
+        rejection) models the station-side scan: a station parked on
+        one channel still learns the beacon levels of neighbouring
+        cells, which is what makes cross-channel roaming decidable.  No
+        RNG draw, so beacon traffic never perturbs the reception random
+        stream of the data plane.  Both medium modes fan out over the
+        same set: every MAC within the carrier-sense range.
+        """
+        topo = self.topology
+        cs = topo.radio.cs_threshold_dbm
+        ch = self.channel.get(tx.src, 0)
+        tx_count = self._tx_count
+        now = self.scheduler.now_us
+        if self._culled:
+            order = self._mac_order
+            macs = self._macs
+            names = [
+                n for n in topo.neighbors_of(tx.src, topo.cs_range_m, now)
+                if n in order and n != tx.src
+            ]
+            names.sort(key=order.__getitem__)
+            seen = set()
+            for name in names:
+                if name in seen or tx_count.get(name, 0):
+                    continue
+                seen.add(name)
+                rssi = topo.rx_power_dbm(tx.src, name, now)
+                if rssi >= cs:
+                    macs[name].on_beacon(tx.src, rssi, ch)
+        else:
+            for name, mac in self._macs.items():
+                if name == tx.src or tx_count.get(name, 0):
+                    continue
+                rssi = topo.rx_power_dbm(tx.src, name, now)
+                if rssi >= cs:
+                    mac.on_beacon(tx.src, rssi, ch)
 
     # ------------------------------------------------------------------
     # Carrier-sense fan-out
     # ------------------------------------------------------------------
+
+    def _ordered_listeners(self, contrib: Dict[str, float]) -> List[str]:
+        """Contribution keys plus mobile MACs, in MAC-registration order.
+
+        Mobile listeners are never in the frozen maps but their carrier
+        state still depends on every transition, so they always join the
+        fan-out.  Registration order matches the dense path's iteration
+        exactly, so culled mode with an ``-inf`` floor replays the same
+        carrier-flip sequence.
+        """
+        order = self._mac_order
+        names = set(contrib)
+        names.update(n for n in self._mobile if n in order)
+        return sorted(names, key=order.__getitem__)
+
+    def _fanout_listeners(self, tx: Transmission) -> List[str]:
+        """Who to re-evaluate when ``tx`` keys up or ends (culled mode).
+
+        A static source's set is its frozen contribution keys (plus the
+        mobiles); a mobile source froze nothing, so its set is its
+        *current* relevance neighbourhood — the same nodes the dense
+        path would find affected.
+        """
+        if tx.src not in self._mobile:
+            return self._ordered_listeners(tx.contrib)
+        order = self._mac_order
+        names = {
+            n for n in self.topology.neighbors_of(
+                tx.src, self.topology.relevance_range_m, self.scheduler.now_us
+            )
+            if n in order and n != tx.src
+        }
+        names.update(n for n in self._mobile if n in order and n != tx.src)
+        return sorted(names, key=order.__getitem__)
+
+    def _update_carrier_states_for(self, names) -> None:
+        busy_map = self._busy
+        for name in names:
+            busy = self.locally_busy(name)
+            if busy != busy_map[name]:
+                busy_map[name] = busy
+                if self.lens is not None:
+                    self.lens.on_channel_state(name, busy, self.scheduler.now_us)
+                self._macs[name].on_channel_state(busy)
 
     def _update_carrier_states(self) -> None:
         for name, mac in self._macs.items():

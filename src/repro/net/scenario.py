@@ -15,7 +15,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.net.medium import MEDIUM_MODES
 from repro.net.topology import RadioSpec, Topology, Waypoint
+from repro.net.traffic import TRAFFIC_MODELS
 from repro.phy.params import RATE_TABLE
 
 __all__ = [
@@ -23,6 +25,8 @@ __all__ = [
     "FlowSpec",
     "MobilitySpec",
     "InterfererSpec",
+    "BssSpec",
+    "TrafficSpec",
     "ScenarioSpec",
 ]
 
@@ -81,6 +85,41 @@ class InterfererSpec:
 
 
 @dataclass(frozen=True)
+class BssSpec:
+    """One cell: an AP, its channel, and the stations that start on it.
+
+    Stations may roam away at run time (strongest-AP hand-off, see
+    :mod:`repro.net.bss`); non-member stations associate with the first
+    AP they hear.  Channel indices are abstract: adjacent indices leak
+    into each other at ``RadioSpec.adjacent_rejection_db`` per step.
+    """
+
+    ap: str
+    channel: int = 0
+    stations: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One node's generated traffic (see :mod:`repro.net.traffic`).
+
+    ``dst="@ap"`` targets the source's *current* serving AP at each
+    arrival instant — the roaming-aware uplink; it requires the
+    scenario to define BSSes.
+    """
+
+    src: str
+    dst: str = "@ap"
+    model: str = "poisson"  # "poisson" | "onoff" | "cbr"
+    rate_pps: float = 100.0
+    payload_octets: int = 1024
+    start_us: float = 0.0
+    stop_us: Optional[float] = None
+    burst_on_us: float = 10_000.0
+    burst_off_us: float = 40_000.0
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """Everything a :class:`repro.net.simulator.NetSimulator` needs."""
 
@@ -97,6 +136,11 @@ class ScenarioSpec:
     cos_delivery_prob: Optional[float] = None  # None = operating-point table
     cos_fidelity: str = "table"  # "table" | "phy"
     max_embed_per_frame: int = 4
+    bsses: Tuple[BssSpec, ...] = ()
+    traffic: Tuple[TrafficSpec, ...] = ()
+    medium_mode: str = "culled"  # "culled" | "dense-exact"
+    beacon_interval_us: float = 102_400.0
+    roam_hysteresis_db: float = 6.0
 
     def __post_init__(self):
         names = [n.name for n in self.nodes]
@@ -121,6 +165,50 @@ class ScenarioSpec:
             )
         if self.duration_us <= 0:
             raise ValueError("duration_us must be positive")
+        if self.medium_mode not in MEDIUM_MODES:
+            raise ValueError(f"unknown medium_mode {self.medium_mode!r}")
+        aps = [b.ap for b in self.bsses]
+        if len(set(aps)) != len(aps):
+            raise ValueError("BSS AP names must be unique")
+        ap_set = set(aps)
+        members = set()
+        for bss in self.bsses:
+            if bss.ap not in known:
+                raise ValueError(f"BSS AP {bss.ap!r} is not a node")
+            if bss.channel < 0:
+                raise ValueError("BSS channel must be >= 0")
+            for sta in bss.stations:
+                if sta not in known:
+                    raise ValueError(
+                        f"BSS {bss.ap!r} member {sta!r} is not a node"
+                    )
+                if sta in ap_set:
+                    raise ValueError(f"{sta!r} cannot be both AP and station")
+                if sta in members:
+                    raise ValueError(
+                        f"station {sta!r} is a member of multiple BSSes"
+                    )
+                members.add(sta)
+        for t in self.traffic:
+            if t.src not in known:
+                raise ValueError(f"traffic source {t.src!r} is not a node")
+            if t.model not in TRAFFIC_MODELS:
+                raise ValueError(f"unknown traffic model {t.model!r}")
+            if t.rate_pps <= 0:
+                raise ValueError("traffic rate_pps must be positive")
+            if t.model == "onoff" and (t.burst_on_us <= 0 or t.burst_off_us <= 0):
+                raise ValueError("onoff burst durations must be positive")
+            if t.dst == "@ap":
+                if not self.bsses:
+                    raise ValueError(
+                        '"@ap" traffic requires the scenario to define bsses'
+                    )
+            elif t.dst not in known:
+                raise ValueError(f"traffic {t.src}->{t.dst} targets unknown node")
+            if t.dst == t.src:
+                raise ValueError(f"traffic {t.src}->{t.dst} is a self-loop")
+        if self.beacon_interval_us <= 0:
+            raise ValueError("beacon_interval_us must be positive")
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -143,6 +231,10 @@ class ScenarioSpec:
     def with_control(self, control: str) -> "ScenarioSpec":
         """The same scenario under the other control scheme."""
         return dataclasses.replace(self, control=control)
+
+    def with_medium(self, medium_mode: str) -> "ScenarioSpec":
+        """The same scenario under the other medium mode."""
+        return dataclasses.replace(self, medium_mode=medium_mode)
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -169,6 +261,14 @@ class ScenarioSpec:
         )
         data["interferers"] = tuple(
             InterfererSpec(**i) for i in data.get("interferers", ())
+        )
+        data["bsses"] = tuple(
+            BssSpec(ap=b["ap"], channel=b.get("channel", 0),
+                    stations=tuple(b.get("stations", ())))
+            for b in data.get("bsses", ())
+        )
+        data["traffic"] = tuple(
+            TrafficSpec(**t) for t in data.get("traffic", ())
         )
         return cls(**data)
 

@@ -19,16 +19,37 @@ exponent 3, 46.7 dB at 1 m): the near station at 12 m reaches the AP at
 a circle around an AP, everyone in everyone's carrier-sense range — the
 spatial twin of the slotted :mod:`repro.mac.overhead` model, used by the
 ``net`` backend of :mod:`repro.experiments.network`.
+
+``enterprise-grid`` and ``campus-roaming`` are the multi-BSS scale-out
+scenarios: a reuse-3 grid of cells with per-station Poisson uplink (the
+spatial-culling benchmark substrate), and a line of APs that two
+stations walk past end-to-end, roaming cell to cell (the
+association/roaming regression scenario).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
-from repro.net.scenario import FlowSpec, NodeSpec, ScenarioSpec
+from repro.net.scenario import (
+    BssSpec,
+    FlowSpec,
+    MobilitySpec,
+    NodeSpec,
+    ScenarioSpec,
+    TrafficSpec,
+)
+from repro.net.topology import RadioSpec
 
-__all__ = ["BUILTIN_SCENARIOS", "builtin_scenario", "hidden_node", "contention"]
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "builtin_scenario",
+    "hidden_node",
+    "contention",
+    "enterprise_grid",
+    "campus_roaming",
+]
 
 
 def hidden_node(
@@ -87,9 +108,157 @@ def contention(
     )
 
 
+def enterprise_grid(
+    control: str = "cos",
+    n_aps: int = 4,
+    stations_per_ap: int = 15,
+    spacing_m: float = 60.0,
+    n_channels: int = 3,
+    traffic_model: str = "poisson",
+    rate_pps: float = 50.0,
+    payload_octets: int = 1024,
+    duration_us: float = 100_000.0,
+    medium_mode: str = "culled",
+) -> ScenarioSpec:
+    """A reuse-``n_channels`` grid of office cells under Poisson uplink.
+
+    APs sit on a ``ceil(sqrt(n_aps))``-wide square lattice, channels
+    assigned ``(row + col) % n_channels`` so neighbouring cells never
+    share one.  Each AP serves ``stations_per_ap`` stations ringed
+    5–10 m around it, each running an independent ``traffic_model``
+    uplink to ``"@ap"``.  The radio uses a denser-walls exponent (3.5),
+    which puts the carrier-sense range (~31 m) inside the AP spacing:
+    cells contend internally but transmit concurrently across the
+    floor — the workload the spatial-culling medium exists for, and the
+    substrate ``benchmarks/bench_net_scaling.py`` sweeps N over.
+    """
+    if n_aps < 1:
+        raise ValueError("need at least one AP")
+    if n_channels < 1:
+        raise ValueError("need at least one channel")
+    radio = RadioSpec(path_loss_exponent=3.5, interference_floor_dbm=-95.0)
+    side = int(math.ceil(math.sqrt(n_aps)))
+    nodes: List[NodeSpec] = []
+    bsses: List[BssSpec] = []
+    traffic: List[TrafficSpec] = []
+    for a in range(n_aps):
+        row, col = divmod(a, side)
+        ap = f"ap{a}"
+        ax, ay = col * spacing_m, row * spacing_m
+        nodes.append(NodeSpec(ap, ax, ay))
+        stations = []
+        for j in range(stations_per_ap):
+            sta = f"sta{a}_{j}"
+            angle = 2.0 * math.pi * j / max(stations_per_ap, 1)
+            radius = 5.0 + 2.5 * (j % 3)
+            nodes.append(NodeSpec(sta, ax + radius * math.cos(angle),
+                                  ay + radius * math.sin(angle)))
+            stations.append(sta)
+            traffic.append(TrafficSpec(
+                src=sta, dst="@ap", model=traffic_model,
+                rate_pps=rate_pps, payload_octets=payload_octets,
+            ))
+        bsses.append(BssSpec(ap=ap, channel=(row + col) % n_channels,
+                             stations=tuple(stations)))
+    return ScenarioSpec(
+        name=f"enterprise-grid-{n_aps * (stations_per_ap + 1)}",
+        nodes=tuple(nodes),
+        flows=(),
+        control=control,
+        duration_us=duration_us,
+        radio=radio,
+        bsses=tuple(bsses),
+        traffic=tuple(traffic),
+        medium_mode=medium_mode,
+    )
+
+
+def campus_roaming(
+    control: str = "cos",
+    n_aps: int = 3,
+    spacing_m: float = 60.0,
+    stations_per_ap: int = 3,
+    n_walkers: int = 2,
+    rate_pps: float = 40.0,
+    walker_rate_pps: float = 80.0,
+    payload_octets: int = 512,
+    duration_us: float = 400_000.0,
+    beacon_interval_us: float = 20_000.0,
+    medium_mode: str = "culled",
+) -> ScenarioSpec:
+    """A corridor of cells that mobile stations walk end-to-end.
+
+    ``n_aps`` APs in a line, one channel each (round-robin over three),
+    a few static stations per cell, and ``n_walkers`` stations pacing
+    the corridor — odd walkers in the opposite direction.  Walkers send
+    CBR uplink to ``"@ap"``, so their traffic follows each hand-off:
+    the strongest-AP rule (beacon RSSI beating the serving AP by the
+    hysteresis) moves them cell to cell, and ``NetResult.n_roams`` /
+    per-station ``roams`` count the hand-offs.  Beacons tick every
+    20 ms so a 400 ms walk sees enough of them to roam promptly.
+    """
+    if n_aps < 2:
+        raise ValueError("roaming needs at least two APs")
+    nodes: List[NodeSpec] = []
+    bsses: List[BssSpec] = []
+    traffic: List[TrafficSpec] = []
+    mobility: List[MobilitySpec] = []
+    for a in range(n_aps):
+        ap = f"ap{a}"
+        ax = a * spacing_m
+        nodes.append(NodeSpec(ap, ax, 0.0))
+        stations = []
+        for j in range(stations_per_ap):
+            sta = f"sta{a}_{j}"
+            angle = 2.0 * math.pi * (j + 0.5) / max(stations_per_ap, 1)
+            nodes.append(NodeSpec(sta, ax + 10.0 * math.cos(angle),
+                                  10.0 * math.sin(angle)))
+            stations.append(sta)
+            traffic.append(TrafficSpec(
+                src=sta, dst="@ap", model="poisson",
+                rate_pps=rate_pps, payload_octets=payload_octets,
+            ))
+        bsses.append(BssSpec(ap=ap, channel=a % 3, stations=tuple(stations)))
+    corridor_m = (n_aps - 1) * spacing_m
+    walk_end_us = 0.9 * duration_us
+    for w in range(n_walkers):
+        name = f"walker{w}"
+        y = 6.0 + 2.0 * w
+        x0, x1 = (0.0, corridor_m) if w % 2 == 0 else (corridor_m, 0.0)
+        nodes.append(NodeSpec(name, x0, y))
+        mobility.append(MobilitySpec(
+            node=name,
+            waypoints=((0.0, x0, y), (walk_end_us, x1, y)),
+        ))
+        # Walkers start associated to their nearest AP.
+        home = 0 if w % 2 == 0 else n_aps - 1
+        bsses[home] = BssSpec(
+            ap=bsses[home].ap, channel=bsses[home].channel,
+            stations=bsses[home].stations + (name,),
+        )
+        traffic.append(TrafficSpec(
+            src=name, dst="@ap", model="cbr",
+            rate_pps=walker_rate_pps, payload_octets=payload_octets,
+        ))
+    return ScenarioSpec(
+        name="campus-roaming",
+        nodes=tuple(nodes),
+        flows=(),
+        control=control,
+        duration_us=duration_us,
+        mobility=tuple(mobility),
+        bsses=tuple(bsses),
+        traffic=tuple(traffic),
+        medium_mode=medium_mode,
+        beacon_interval_us=beacon_interval_us,
+    )
+
+
 BUILTIN_SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "hidden-node": hidden_node,
     "contention": contention,
+    "enterprise-grid": enterprise_grid,
+    "campus-roaming": campus_roaming,
 }
 
 

@@ -21,13 +21,20 @@ import numpy as np
 
 from repro import engine
 from repro.engine.spec import TrialSpec
-from repro.net.control import ControlPlane
+from repro.net.bss import BssRuntime
+from repro.net.control import ControlPlane, ControlRouter
 from repro.net.lens import NetLens
 from repro.net.mac import NetFrame, NodeMac
 from repro.net.medium import Medium, Transmission
-from repro.net.scenario import FlowSpec, InterfererSpec, ScenarioSpec
+from repro.net.scenario import (
+    FlowSpec,
+    InterfererSpec,
+    ScenarioSpec,
+    TrafficSpec,
+)
 from repro.net.scheduler import EventScheduler
 from repro.net.sinr import ReceptionModel, SigmoidErrorModel
+from repro.net.traffic import arrival_times
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.utils.rng import RngLike, make_rng
@@ -56,6 +63,7 @@ class NodeStats:
     payload_bits_delivered: int = 0
     control_generated: int = 0
     control_delivered: int = 0
+    roams: int = 0
     control_latencies_us: List[float] = field(default_factory=list)
     sinr_samples_db: List[float] = field(default_factory=list)
     loss_reasons: Dict[str, int] = field(default_factory=dict)
@@ -113,6 +121,8 @@ class NetResult:
     per_node: Dict[str, NodeStats]
     airtime_us: Dict[str, float]
     n_events: int
+    n_roams: int = 0
+    associations: Optional[Dict[str, str]] = None
     ledger: Optional[Dict] = None
     profile: Optional[Dict] = None
     events: Optional[List[Dict]] = None
@@ -176,6 +186,7 @@ class NetResult:
                     "failures": stats.failures,
                     "control_generated": stats.control_generated,
                     "control_delivered": stats.control_delivered,
+                    "roams": stats.roams,
                     "mean_control_latency_us": stats.mean_control_latency_us,
                     "mean_sinr_db": stats.mean_sinr_db,
                     "min_sinr_db": stats.min_sinr_db,
@@ -184,6 +195,9 @@ class NetResult:
                 for name, stats in self.per_node.items()
             },
         }
+        if self.associations is not None:
+            out["n_roams"] = self.n_roams
+            out["associations"] = dict(self.associations)
         if self.ledger is not None:
             out["ledger"] = self.ledger
         if self.profile is not None:
@@ -253,6 +267,9 @@ class _Collector:
         stats.control_latencies_us.append(now - msg.created_us)
         self._control.labels(event="delivered").inc()
 
+    def on_roam(self, name: str) -> None:
+        self.nodes[name].roams += 1
+
 
 class NetSimulator:
     """One scenario, one RNG, one run.
@@ -275,27 +292,54 @@ class NetSimulator:
             capture_threshold_db=spec.radio.capture_threshold_db,
             error_model=SigmoidErrorModel(),
         )
-        if lens is not None:
-            lens.bind([n.name for n in spec.nodes])
-            if lens.profile:
-                self.scheduler.profiler = lens.profiler
+        if lens is not None and lens.profile:
+            self.scheduler.profiler = lens.profiler
         self.collector = _Collector([n.name for n in spec.nodes])
         self.medium = Medium(
             self.topology, self.scheduler, reception, self.rng,
             on_outcome=self.collector.on_outcome,
             lens=lens,
+            mode=spec.medium_mode,
         )
-        self.control_plane = ControlPlane(
-            mode=spec.control,
-            rng=self.rng,
-            collector=self.collector,
-            control_octets=spec.control_octets,
-            fixed_rate_mbps=spec.data_rate_mbps,
-            cos_delivery_prob=spec.cos_delivery_prob,
-            cos_fidelity=spec.cos_fidelity,
-            max_embed_per_frame=spec.max_embed_per_frame,
-            lens=lens,
-        )
+
+        def _plane() -> ControlPlane:
+            return ControlPlane(
+                mode=spec.control,
+                rng=self.rng,
+                collector=self.collector,
+                control_octets=spec.control_octets,
+                fixed_rate_mbps=spec.data_rate_mbps,
+                cos_delivery_prob=spec.cos_delivery_prob,
+                cos_fidelity=spec.cos_fidelity,
+                max_embed_per_frame=spec.max_embed_per_frame,
+                lens=lens,
+            )
+
+        self.bss_runtime: Optional[BssRuntime] = None
+        if spec.bsses:
+            self.bss_runtime = BssRuntime(
+                spec.bsses,
+                medium=self.medium,
+                scheduler=self.scheduler,
+                collector=self.collector,
+                lens=lens,
+                beacon_interval_us=spec.beacon_interval_us,
+                roam_hysteresis_db=spec.roam_hysteresis_db,
+                horizon_us=spec.duration_us,
+            )
+            self.control_plane = ControlRouter(
+                planes={b.ap: _plane() for b in spec.bsses},
+                default=_plane(),
+                assoc_of=self.bss_runtime.ap_of,
+            )
+        else:
+            self.control_plane = _plane()
+        if lens is not None:
+            lens.bind(
+                [n.name for n in spec.nodes],
+                bss_of=(self.bss_runtime.bss_map()
+                        if self.bss_runtime is not None else None),
+            )
         self.macs: Dict[str, NodeMac] = {}
         for node in spec.nodes:
             self.macs[node.name] = NodeMac(
@@ -314,6 +358,23 @@ class NetSimulator:
             self.scheduler.at(
                 interferer.start_us, self._interferer_tick, interferer
             )
+        if self.bss_runtime is not None:
+            self.bss_runtime.start(self.macs)
+        # Traffic arrivals are pre-drawn here, in spec order, before any
+        # event fires — see repro.net.traffic for why this ordering is
+        # the determinism contract.
+        for t in spec.traffic:
+            for arrival in arrival_times(t, spec.duration_us, self.rng):
+                self.scheduler.at(arrival, self._traffic_arrive, t, arrival)
+        # Pin mobile nodes back into the spatial index once their
+        # waypoints are exhausted (both medium modes, so event counts
+        # and streams stay comparable).
+        for mob in spec.mobility:
+            if not mob.waypoints:
+                continue
+            last_t = max(w[0] for w in mob.waypoints)
+            if 0.0 < last_t < spec.duration_us:
+                self.scheduler.at(last_t, self._pin_node, mob.node)
 
     # ------------------------------------------------------------------
     # Traffic and interference sources
@@ -332,6 +393,21 @@ class NetSimulator:
             kind="data", src=flow.src, dst=flow.dst,
             payload_octets=flow.payload_octets, created_us=arrival_us,
         ))
+
+    def _traffic_arrive(self, t: TrafficSpec, arrival_us: float) -> None:
+        dst = t.dst
+        if dst == "@ap":
+            dst = self.bss_runtime.ap_of(t.src)
+            if dst is None or dst == t.src:
+                return  # not (yet) associated: nothing to address
+        self.collector.on_generated(t.src)
+        self.macs[t.src].enqueue(NetFrame(
+            kind="data", src=t.src, dst=dst,
+            payload_octets=t.payload_octets, created_us=arrival_us,
+        ))
+
+    def _pin_node(self, name: str) -> None:
+        self.topology.invalidate(name, self.scheduler.now_us)
 
     def _interferer_tick(self, spec: InterfererSpec) -> None:
         if float(self.rng.random()) < spec.probability:
@@ -363,6 +439,10 @@ class NetSimulator:
             per_node=self.collector.nodes,
             airtime_us=dict(self.medium.airtime_us),
             n_events=self.scheduler.n_dispatched,
+            n_roams=(self.bss_runtime.n_roams
+                     if self.bss_runtime is not None else 0),
+            associations=(dict(self.bss_runtime.assoc)
+                          if self.bss_runtime is not None else None),
         )
         if lens is not None:
             lens.finalize(end_us=self.scheduler.now_us,
@@ -429,7 +509,9 @@ def _combine_values(values: List) -> object:
     dicts recurse over the union of keys (a key absent from one trial —
     a loss reason that never fired, an airtime kind never transmitted —
     counts as zero); identical values pass through unchanged (preserving
-    strings, bools, and integer counts); anything else is the float mean.
+    strings, bools, and integer counts); differing numbers become the
+    float mean; differing non-numerics (e.g. the final association map
+    of a roaming scenario) pass through by first-trial value.
     """
     present = [v for v in values if v is not None]
     if not present:
@@ -452,6 +534,9 @@ def _combine_values(values: List) -> object:
             )
         return out
     if all(v == first for v in present):
+        return first
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in present):
         return first
     return float(np.mean(present))
 

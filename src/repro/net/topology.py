@@ -10,15 +10,33 @@ from :meth:`Topology.rx_power_dbm`, so hidden nodes are purely a matter
 of geometry: two stations far enough apart that each other's power lands
 below the carrier-sense threshold cannot coordinate, yet both still
 deposit interference power at a receiver between them.
+
+Scale-out machinery (multi-BSS refactor):
+
+* A **uniform-grid spatial index** (:class:`GridIndex`) over the static
+  nodes, cell size = the carrier-sense range at ``cs_threshold_dbm``.
+  :meth:`Topology.neighbors_of` answers "who could possibly matter
+  within ``radius_m``" as a superset query (bounding-box cells), so the
+  medium only computes exact powers for a local neighbourhood instead of
+  all pairs.  Mobile nodes (any node with waypoints) are *never* binned:
+  they live in an always-returned set, which keeps culling exact without
+  rebinning on every position change.
+* **Per-pair path-loss caching** for static nodes: the log-distance
+  formula (hypot + log10) runs once per unordered pair and is a dict hit
+  afterwards.  Pairs involving a mobile node are always recomputed.
+* :meth:`Topology.invalidate` — the mobility hook: pin a node at its
+  position at ``t_us`` (typically its last waypoint), drop its cache
+  entries, and move it from the mobile set into the grid so it becomes
+  cacheable/cullable again.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-__all__ = ["RadioSpec", "Waypoint", "Topology"]
+__all__ = ["RadioSpec", "Waypoint", "GridIndex", "Topology"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +59,21 @@ class RadioSpec:
         Thermal noise floor: ``-174 + 10 log10(BW) + NF`` dBm.
     path_loss_exponent / ref_loss_db / ref_distance_m:
         Log-distance path-loss model parameters.
+    min_distance_m:
+        Hard floor on the model distance so ``log10`` never sees zero —
+        two nodes sharing a position (a coincident waypoint crossing)
+        yield the finite near-field loss at this distance instead of
+        ``-inf``/``nan`` power.
+    interference_floor_dbm:
+        Culling threshold for the medium's spatially-indexed mode: a
+        transmission's contribution at a listener below this level is
+        treated as zero (it neither trips carrier sense nor accumulates
+        as interference).  ``-inf`` disables culling — bit-for-bit the
+        all-pairs semantics.
+    adjacent_rejection_db:
+        Receive-filter rejection per channel step: a signal on channel
+        ``c`` is attenuated ``|c - c'| * adjacent_rejection_db`` at a
+        listener on channel ``c'`` (co-channel = 0 dB).
     """
 
     tx_power_dbm: float = 17.0
@@ -51,6 +84,19 @@ class RadioSpec:
     path_loss_exponent: float = 3.0
     ref_loss_db: float = 46.7
     ref_distance_m: float = 1.0
+    min_distance_m: float = 0.1
+    interference_floor_dbm: float = -100.0
+    adjacent_rejection_db: float = 25.0
+
+    def __post_init__(self):
+        if self.ref_distance_m <= 0.0:
+            raise ValueError("ref_distance_m must be positive")
+        if self.min_distance_m <= 0.0:
+            raise ValueError("min_distance_m must be positive")
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError("bandwidth_hz must be positive")
+        if self.adjacent_rejection_db < 0.0:
+            raise ValueError("adjacent_rejection_db must be >= 0")
 
     @property
     def noise_dbm(self) -> float:
@@ -64,6 +110,86 @@ class Waypoint:
     t_us: float
     x: float
     y: float
+
+
+class GridIndex:
+    """Uniform-grid spatial hash over named 2-D points.
+
+    Cells are ``cell_m`` squares keyed by ``(floor(x/cell), floor(y/cell))``.
+    :meth:`query_disk` returns the names in every cell intersecting the
+    disk's bounding box — a superset of the true disk, cheap and exact
+    enough as a pre-filter (callers do the precise power test).  Names
+    within a cell keep insertion order, so queries are deterministic.
+    """
+
+    __slots__ = ("cell_m", "_cells", "_where")
+
+    def __init__(self, cell_m: float) -> None:
+        if not (cell_m > 0.0) or math.isinf(cell_m):
+            raise ValueError("cell_m must be positive and finite")
+        self.cell_m = float(cell_m)
+        self._cells: Dict[Tuple[int, int], List[str]] = {}
+        self._where: Dict[str, Tuple[int, int]] = {}
+
+    def _key(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self.cell_m)),
+                int(math.floor(y / self.cell_m)))
+
+    def insert(self, name: str, x: float, y: float) -> None:
+        if name in self._where:
+            raise ValueError(f"duplicate grid entry {name!r}")
+        key = self._key(x, y)
+        self._cells.setdefault(key, []).append(name)
+        self._where[name] = key
+
+    def remove(self, name: str) -> None:
+        key = self._where.pop(name)
+        cell = self._cells[key]
+        cell.remove(name)
+        if not cell:
+            del self._cells[key]
+
+    def move(self, name: str, x: float, y: float) -> None:
+        key = self._key(x, y)
+        if self._where.get(name) == key:
+            return
+        self.remove(name)
+        self._cells.setdefault(key, []).append(name)
+        self._where[name] = key
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._where
+
+    def query_disk(self, x: float, y: float, radius_m: float) -> List[str]:
+        """Names in every cell touching the disk's bounding box (superset)."""
+        if math.isinf(radius_m):
+            out: List[str] = []
+            for key in sorted(self._cells):
+                out.extend(self._cells[key])
+            return out
+        cx0 = int(math.floor((x - radius_m) / self.cell_m))
+        cx1 = int(math.floor((x + radius_m) / self.cell_m))
+        cy0 = int(math.floor((y - radius_m) / self.cell_m))
+        cy1 = int(math.floor((y + radius_m) / self.cell_m))
+        cells = self._cells
+        # Walk the (small) bounding box when it is sparser than the
+        # occupied-cell set; otherwise scan occupied cells directly.
+        n_box = (cx1 - cx0 + 1) * (cy1 - cy0 + 1)
+        out = []
+        if n_box <= len(cells) * 2:
+            for cx in range(cx0, cx1 + 1):
+                for cy in range(cy0, cy1 + 1):
+                    names = cells.get((cx, cy))
+                    if names:
+                        out.extend(names)
+        else:
+            for key in sorted(cells):
+                if cx0 <= key[0] <= cx1 and cy0 <= key[1] <= cy1:
+                    out.extend(cells[key])
+        return out
 
 
 class Topology:
@@ -93,10 +219,30 @@ class Topology:
             wps = tuple(sorted(waypoints, key=lambda w: w.t_us))
             if wps:
                 self._mobility[name] = wps
+        # Spatial index over *static* nodes; mobile nodes are always
+        # visited (exact culling without rebinning on motion).
+        self.cs_range_m = self.range_for_rx_dbm(radio.cs_threshold_dbm)
+        self.relevance_range_m = self.range_for_rx_dbm(
+            radio.interference_floor_dbm
+        )
+        cell = self.cs_range_m
+        if not math.isfinite(cell) or cell < 1.0:
+            cell = 1.0
+        self._grid = GridIndex(cell)
+        self._mobile: List[str] = []  # insertion order = spec order
+        for name, (x, y) in self._static.items():
+            if name in self._mobility:
+                self._mobile.append(name)
+            else:
+                self._grid.insert(name, x, y)
+        self._pl_cache: Dict[Tuple[str, str], float] = {}
 
     @property
     def names(self) -> Iterable[str]:
         return self._static.keys()
+
+    def is_mobile(self, name: str) -> bool:
+        return name in self._mobility
 
     # ------------------------------------------------------------------
     # Geometry
@@ -123,18 +269,90 @@ class Topology:
         return math.hypot(xa - xb, ya - yb)
 
     # ------------------------------------------------------------------
+    # Spatial index
+    # ------------------------------------------------------------------
+
+    def neighbors_of(self, name: str, radius_m: float,
+                     t_us: float = 0.0) -> List[str]:
+        """Candidate nodes within ``radius_m`` of ``name`` (superset).
+
+        Static nodes come from the grid (bounding-box cells, so a few
+        beyond the radius may appear — callers do the exact power test);
+        every mobile node is always included.  ``name`` itself may be in
+        the result.  Deterministic: grid cells in sorted key order /
+        bounding-box scan order, mobile nodes in spec order.
+        """
+        names = self._grid.query_disk(*self.position(name, t_us),
+                                      radius_m=radius_m)
+        if self._mobile:
+            names = names + self._mobile
+        return names
+
+    def invalidate(self, name: str, t_us: float = 0.0) -> None:
+        """Pin ``name`` at its position at ``t_us`` and re-index it.
+
+        The mobility hook: once a node's waypoints are exhausted (or a
+        caller decides its motion is over), pinning it makes the node
+        static again — grid-binned, path-loss-cacheable, cullable.  Any
+        cached pairs involving it are dropped.
+        """
+        if name not in self._static:
+            raise KeyError(f"unknown node {name!r}")
+        pos = self.position(name, t_us)
+        if self._pl_cache:
+            self._pl_cache = {
+                k: v for k, v in self._pl_cache.items() if name not in k
+            }
+        if name in self._mobility:
+            del self._mobility[name]
+            self._mobile.remove(name)
+            self._static[name] = pos
+            self._grid.insert(name, *pos)
+        else:
+            self._static[name] = pos
+            self._grid.move(name, *pos)
+
+    # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
 
     def path_loss_db(self, distance_m: float) -> float:
         r = self.radio
-        d = max(distance_m, r.ref_distance_m)
+        d = max(distance_m, r.min_distance_m, r.ref_distance_m)
         return r.ref_loss_db + 10.0 * r.path_loss_exponent * math.log10(
             d / r.ref_distance_m
         )
 
+    def range_for_rx_dbm(self, rx_dbm: float) -> float:
+        """Distance at which received power falls to ``rx_dbm``.
+
+        The inverse of the log-distance model; ``-inf`` maps to ``inf``
+        (everything is relevant), and the result never drops below the
+        model's distance floor.
+        """
+        r = self.radio
+        if math.isinf(rx_dbm) and rx_dbm < 0:
+            return float("inf")
+        exponent = (r.tx_power_dbm - rx_dbm - r.ref_loss_db) / (
+            10.0 * r.path_loss_exponent
+        )
+        d = r.ref_distance_m * 10.0 ** exponent
+        return max(d, r.min_distance_m, r.ref_distance_m)
+
     def rx_power_dbm(self, src: str, dst: str, t_us: float = 0.0) -> float:
-        """Received power at ``dst`` of a transmission from ``src``."""
+        """Received power at ``dst`` of a transmission from ``src``.
+
+        Static-pair path losses are cached (symmetric key); pairs with a
+        mobile endpoint are recomputed at ``t_us``.
+        """
+        mobility = self._mobility
+        if src not in mobility and dst not in mobility:
+            key = (src, dst) if src <= dst else (dst, src)
+            pl = self._pl_cache.get(key)
+            if pl is None:
+                pl = self.path_loss_db(self.distance_m(src, dst))
+                self._pl_cache[key] = pl
+            return self.radio.tx_power_dbm - pl
         return self.radio.tx_power_dbm - self.path_loss_db(
             self.distance_m(src, dst, t_us)
         )

@@ -11,10 +11,13 @@ on-air interval painted with its frame kind::
     sta_hidden  DDDDD       DDDDDD
     sta_near         DD DDD
 
-Characters: ``D`` data, ``C`` explicit control, ``a`` ACK, ``!``
-interferer burst; the ``channel`` row marks the union of all
-transmissions (``#``).  A cell covering several kinds shows the
-highest-priority one (data > control > ack > interference).
+Characters: ``D`` data, ``C`` explicit control, ``a`` ACK, ``B``
+beacon, ``!`` interferer burst; the ``channel`` row marks the union of
+all transmissions (``#``).  A cell covering several kinds shows the
+highest-priority one (data > control > ack > beacon > interference).
+Multi-BSS traces (``tx_start`` records stamped with a ``bss`` field by
+:class:`repro.net.lens.NetLens`) group the per-node rows by serving AP,
+separated by ``-- bss <ap> --`` headers.
 
 Only ``type == "net"`` / ``event == "tx_start"`` records are consumed
 (they carry start time, duration, source, and kind), so any trace file
@@ -36,6 +39,7 @@ KIND_CHARS = (
     ("data", "D"),
     ("control", "C"),
     ("ack", "a"),
+    ("beacon", "B"),
     ("interference", "!"),
 )
 _CHAR_FOR = dict(KIND_CHARS)
@@ -50,6 +54,7 @@ class TxInterval:
     kind: str
     start_us: float
     end_us: float
+    bss: Optional[str] = None
 
 
 def extract_intervals(events: Iterable[dict]) -> Tuple[List[TxInterval], float]:
@@ -68,13 +73,15 @@ def extract_intervals(events: Iterable[dict]) -> Tuple[List[TxInterval], float]:
         if ev.get("event") != "tx_start":
             continue
         kind = ev.get("kind", "data")
-        if ev.get("dst") is None:
-            kind = "interference"
+        if ev.get("dst") is None and kind not in _CHAR_FOR:
+            kind = "interference"  # legacy traces: un-kinded broadcast
+        elif kind not in _CHAR_FOR:
+            kind = "data"
         end = t_us + float(ev.get("duration_us", 0.0))
         horizon = max(horizon, end)
         intervals.append(TxInterval(
             src=str(ev.get("src", "?")), kind=kind,
-            start_us=t_us, end_us=end,
+            start_us=t_us, end_us=end, bss=ev.get("bss"),
         ))
     return intervals, horizon
 
@@ -149,7 +156,14 @@ def render_timeline(events: Iterable[dict], width: int = 72) -> str:
     t0 = 0.0
     us_per_cell = (horizon - t0) / width if horizon > t0 else 1.0
 
-    nodes = sorted({iv.src for iv in intervals})
+    bss_of: Dict[str, Optional[str]] = {}
+    for iv in intervals:
+        if iv.bss is not None:
+            bss_of[iv.src] = iv.bss
+    # Group rows by serving BSS when the trace carries the stamp; nodes
+    # without one (interferers, single-BSS traces) sort after, by name.
+    nodes = sorted({iv.src for iv in intervals},
+                   key=lambda n: (bss_of.get(n) is None, bss_of.get(n, ""), n))
     rows: Dict[str, List[Optional[str]]] = {n: [None] * width for n in nodes}
     channel: List[Optional[str]] = [None] * width
     for iv in intervals:
@@ -163,7 +177,13 @@ def render_timeline(events: Iterable[dict], width: int = 72) -> str:
         "channel".ljust(label_w) + "  "
         + "".join("#" if c is not None else " " for c in channel)
     )
+    grouped = any(b is not None for b in bss_of.values())
+    current_bss: Optional[str] = None
     for name in nodes:
+        bss = bss_of.get(name)
+        if grouped and bss != current_bss:
+            current_bss = bss
+            lines.append(f"-- bss {bss if bss is not None else '(none)'} --")
         lines.append(
             name.ljust(label_w) + "  "
             + "".join(_CHAR_FOR[c] if c is not None else "." for c in rows[name])

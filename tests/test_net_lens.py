@@ -71,6 +71,25 @@ class TestLedgerConservation:
             split = row["tx_data_us"] + row["tx_control_us"] + row["tx_ack_us"]
             assert split == pytest.approx(row["tx_us"], abs=1e-6), name
 
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_multi_bss_roaming_conserves_airtime(self, seed):
+        """Conservation holds with beacons, roaming, and mobile nodes."""
+        spec = builtin_scenario("campus-roaming", duration_us=150_000.0)
+        result = run_scenario(spec, rng=seed, lens=NetLens())
+        ledger = result.ledger
+        for name, row in ledger["per_node"].items():
+            assert sum(row["fractions"].values()) == pytest.approx(
+                1.0, abs=1e-9), name
+            split = (row["tx_data_us"] + row["tx_control_us"]
+                     + row["tx_ack_us"] + row["tx_beacon_us"])
+            assert split == pytest.approx(row["tx_us"], abs=1e-6), name
+        # The per-BSS rollup partitions exactly what the nodes report.
+        for key in ("tx_us", "busy_us", "idle_us"):
+            assert sum(v[key] for v in ledger["per_bss"].values()) == \
+                pytest.approx(
+                    sum(r[key] for r in ledger["per_node"].values()),
+                    abs=1e-6)
+
     def test_channel_busy_matches_event_union(self):
         lens = NetLens()
         result = run_scenario(_small_spec(), rng=2, lens=lens)
@@ -182,6 +201,21 @@ class TestTraceDeterminism:
             ev_b = sorted(b.events, key=lambda e: (e["t_us"], e["seq"]))
             assert json.dumps(ev_a) == json.dumps(ev_b)
             assert a.ledger == b.ledger
+
+    def test_multi_bss_serial_vs_pool_byte_identical(self):
+        """The roaming scenario (beacons, hand-offs, traffic generators,
+        grid-culled medium) replays byte-for-byte across executors."""
+        spec = builtin_scenario("campus-roaming", duration_us=150_000.0)
+        lens_cfg = {"wall_clock": False, "profile": False}
+        serial = run_scenario_sweep(spec, n_trials=2, seed=3, workers=0,
+                                    lens=lens_cfg)
+        pooled = run_scenario_sweep(spec, n_trials=2, seed=3, workers=2,
+                                    lens=lens_cfg)
+        for a, b in zip(serial, pooled):
+            assert json.dumps(a.events) == json.dumps(b.events)
+            assert a.ledger == b.ledger
+            assert a.to_dict() == b.to_dict()
+            assert a.n_roams == b.n_roams and a.n_roams > 0
 
 
 # ---------------------------------------------------------------------------
