@@ -32,6 +32,14 @@ Commands
     the summary JSON also gains ``ledger``/``profile`` sections).
     Trials go through the deterministic engine: serial and
     ``--workers N`` results are bit-for-bit identical.
+    ``--fidelity table|phy|surrogate`` overrides how CoS message
+    delivery is decided (analytic operating points, live PHY runs, or
+    the prebuilt measured-PHY surrogate table).
+``net tables build|inspect``
+    Build (``--quick`` for a smoke-test grid, ``--out`` to redirect) or
+    summarise the measured-PHY surrogate table that
+    ``cos_fidelity="surrogate"`` replays; the active default honours
+    the ``REPRO_SURROGATE_TABLE`` environment override.
 ``obs summarize trace.jsonl``
     Analyse a recorded trace offline: per-stage latency percentiles,
     exchange span coverage, the failure-cause breakdown, and — for
@@ -130,6 +138,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the first trial's net event trace as "
                               "JSONL ('-' for stdout; feed to "
                               "'repro obs timeline')")
+    net_run.add_argument("--fidelity", choices=["table", "phy", "surrogate"],
+                         default=None,
+                         help="override the scenario's CoS fidelity "
+                              "(surrogate = measured-PHY tables, see "
+                              "'repro net tables build')")
+
+    net_tables = net_sub.add_parser(
+        "tables", help="build/inspect measured-PHY surrogate tables"
+    )
+    tables_sub = net_tables.add_subparsers(dest="tables_command", required=True)
+    t_build = tables_sub.add_parser(
+        "build", help="sweep the real PHY and write a surrogate table"
+    )
+    t_build.add_argument("--out", default=None, metavar="PATH",
+                         help="output JSON path (default: the committed "
+                              "default table the net layer loads)")
+    t_build.add_argument("--quick", action="store_true",
+                         help="coarse grid, few packets — a smoke-test "
+                              "build, not a committable table")
+    t_build.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="trial-engine worker processes (0 = serial; "
+                              "default: REPRO_WORKERS or serial)")
+    t_inspect = tables_sub.add_parser(
+        "inspect", help="summarise a surrogate table"
+    )
+    t_inspect.add_argument("path", nargs="?", default=None,
+                           help="table JSON (default: the active default "
+                                "table, honouring REPRO_SURROGATE_TABLE)")
 
     link = sub.add_parser("link", help="run a closed-loop CoS session")
     link.add_argument("--snr", type=float, default=15.0, help="measured SNR in dB")
@@ -234,6 +270,75 @@ def _cmd_experiments(args) -> int:
     return run_experiments(argv)
 
 
+def _cmd_net_tables(args, log) -> int:
+    import numpy as np
+
+    from repro.experiments.common import print_table
+    from repro.phy import surrogate
+
+    if args.tables_command == "build":
+        spec = surrogate.SurrogateSpec()
+        if args.quick:
+            # A sanity-check build: tiny probes on a coarse grid.  The
+            # spec hash keeps it from masquerading as the default table.
+            spec = surrogate.SurrogateSpec(
+                channel_seeds=(0,), n_packets=8, sinr_step_db=8.0,
+                cos_n_packets=4,
+            )
+        out = args.out or surrogate.default_table_path()
+        table = surrogate.build_surrogate_table(spec, workers=args.workers)
+        table.save(out)
+        log.info(
+            "surrogate table %s written to %s (max |fit-raw| %.4f)",
+            table.spec_hash, out, table.max_fit_error(),
+        )
+        print(f"wrote {out} (spec {table.spec_hash})")
+        return 0
+
+    # inspect
+    path = args.path or surrogate.default_table_path()
+    try:
+        table = surrogate.SurrogateTable.load(path)
+    except FileNotFoundError:
+        log.error("no surrogate table at %s — run 'repro net tables build'",
+                  path)
+        return 2
+    except ValueError as exc:
+        log.error("invalid surrogate table %s: %s", path, exc)
+        return 2
+    grid = table.sinr_grid_db
+    rows = []
+    for rate in sorted(table.prr_fit):
+        fit = table.prr_fit[rate]
+        above = np.flatnonzero(fit >= 0.9)
+        knee = f"{grid[above[0]]:g} dB" if above.size else "> grid"
+        rows.append((
+            rate,
+            f"{fit[0]:.2f}..{fit[-1]:.2f}",
+            knee,
+            f"{float(np.max(np.abs(fit - table.prr_raw[rate]))):.4f}",
+        ))
+    print_table(
+        ["rate (Mbps)", "PRR span", "PRR>=0.9 at", "max |fit-raw|"],
+        rows,
+        title=(
+            f"Surrogate table {table.spec_hash} (v{table.version}) — "
+            f"SINR {grid[0]:g}..{grid[-1]:g} dB step "
+            f"{table.spec.sinr_step_db:g}, {table.spec.n_packets} pkts x "
+            f"{len(table.spec.channel_seeds)} seed(s), position "
+            f"{table.spec.position!r}"
+        ),
+    )
+    cos = table.cos_accuracy
+    print(
+        f"CoS accuracy: {float(cos.min()):.2f}..{float(cos.max()):.2f} over "
+        f"{int(table.cos_grid_db[0])}..{int(table.cos_grid_db[-1])} dB "
+        f"(phy-fidelity semantics: seed {table.spec.cos_seed}, "
+        f"{table.spec.cos_n_packets} packets)"
+    )
+    return 0
+
+
 def _cmd_net(args) -> int:
     import json
     import os
@@ -274,6 +379,9 @@ def _cmd_net(args) -> int:
         )
         return 0
 
+    if args.net_command == "tables":
+        return _cmd_net_tables(args, log)
+
     if args.trials < 1:
         log.error("--trials must be at least 1 (got %d)", args.trials)
         return 2
@@ -295,6 +403,8 @@ def _cmd_net(args) -> int:
         spec = spec.with_control(args.control)
     if args.medium is not None:
         spec = spec.with_medium(args.medium)
+    if args.fidelity is not None:
+        spec = spec.with_fidelity(args.fidelity)
 
     # --workers falls back to the REPRO_WORKERS environment flag (the
     # same resolution the engine applies; made explicit here so the CLI

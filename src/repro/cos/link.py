@@ -53,7 +53,35 @@ __all__ = [
     "CosReceiver",
     "ExchangeOutcome",
     "CosLink",
+    "OperatingPoint",
+    "control_group_accuracy",
+    "measure_operating_point",
 ]
+
+
+def control_group_accuracy(
+    sent: np.ndarray, received: np.ndarray, k: int = 4
+) -> float:
+    """Fraction of k-bit interval groups delivered intact, in order.
+
+    This is the granularity at which the paper reports "detection
+    accuracy of control messages": one missed/spurious silence breaks
+    the groups after it, not the ones before.  Returns 1.0 when no
+    control bits were sent.
+    """
+    n_groups = sent.size // k
+    if n_groups == 0:
+        return 1.0
+    good = 0
+    for g in range(n_groups):
+        lo, hi = g * k, (g + 1) * k
+        if hi > received.size:
+            break
+        if np.array_equal(sent[lo:hi], received[lo:hi]):
+            good += 1
+        else:
+            break
+    return good / n_groups
 
 
 def reconstruct_reference_symbols(scrambled_bits: np.ndarray, rate: PhyRate) -> np.ndarray:
@@ -333,26 +361,8 @@ class ExchangeOutcome:
         )
 
     def control_group_accuracy(self, k: int = 4) -> float:
-        """Fraction of k-bit interval groups delivered intact, in order.
-
-        This is the granularity at which the paper reports "detection
-        accuracy of control messages": one missed/spurious silence breaks
-        the groups after it, not the ones before.  Returns 1.0 when no
-        control bits were sent.
-        """
-        n_groups = self.control_sent.size // k
-        if n_groups == 0:
-            return 1.0
-        good = 0
-        for g in range(n_groups):
-            lo, hi = g * k, (g + 1) * k
-            if hi > self.control_received.size:
-                break
-            if np.array_equal(self.control_sent[lo:hi], self.control_received[lo:hi]):
-                good += 1
-            else:
-                break
-        return good / n_groups
+        """See :func:`control_group_accuracy` (module-level helper)."""
+        return control_group_accuracy(self.control_sent, self.control_received, k)
 
 
 @dataclass
@@ -583,3 +593,156 @@ class CosLink:
             bits = rng.integers(0, 2, size=self.codec.k * 8, dtype=np.uint8)
             stats.outcomes.append(self.exchange(payload, bits))
         return stats
+
+
+# ---------------------------------------------------------------------------
+# Open-loop operating-point measurement (batched)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Open-loop link measurement at one (channel, rate) point."""
+
+    n_packets: int
+    prr: float
+    message_accuracy: float
+    n_control_packets: int
+
+
+def measure_operating_point(
+    channel: IndoorChannel,
+    rate: PhyRate,
+    n_packets: int,
+    payload: bytes = bytes(256),
+    control_bits_per_packet: int = 0,
+    codec: Optional[IntervalCodec] = None,
+    control_subcarriers: Sequence[int] = DEFAULT_CONTROL_SUBCARRIERS,
+    select_subcarriers: bool = True,
+    gap_s: float = 1e-3,
+    rng: Optional[np.random.Generator] = None,
+) -> OperatingPoint:
+    """Measure PRR (and optionally CoS control accuracy) at a fixed point.
+
+    Unlike :meth:`CosLink.exchange` this probe is **open-loop**: the rate
+    and control subcarriers stay fixed, nothing feeds back, and the only
+    channel coupling between packets is :meth:`IndoorChannel.evolve` —
+    which runs entirely during transmission.  That independence is what
+    lets the whole probe batch flow through the stacked receiver path:
+    all ``n_packets`` waveforms are synthesised first, then observed in
+    one :meth:`Receiver.observe_many`, energy-detected per packet, and
+    decoded in one :meth:`Receiver.decode_many` (batched demap + Viterbi).
+    This is the probe engine behind :mod:`repro.phy.surrogate`'s PRR
+    sweeps.
+
+    With ``control_bits_per_packet = 0`` the packets are silence-free and
+    ``message_accuracy`` is vacuously 1.0; otherwise each packet embeds
+    that many random control bits (a multiple of ``codec.k``) and the
+    accuracy is the mean per-packet :func:`control_group_accuracy`.  When
+    ``select_subcarriers`` is set (the default) a silence-free lead-in
+    packet runs §III-D subcarrier selection once, standing in for the
+    converged state a closed-loop session reaches through feedback —
+    without it the fixed default subcarriers may sit in a fade, where
+    :class:`CosReceiver`'s detectability guard (replicated here, per
+    packet) declares every control message lost.
+    """
+    codec = codec or IntervalCodec()
+    if control_bits_per_packet % codec.k != 0:
+        raise ValueError(
+            f"control_bits_per_packet={control_bits_per_packet} is not a "
+            f"multiple of codec.k={codec.k}"
+        )
+    tx = Transmitter()
+    rx = Receiver()
+    detector = EnergyDetector()
+    rng = rng or np.random.default_rng(0)
+    psdu = build_mpdu(payload)
+    n_symbols = rate.n_symbols_for(len(psdu))
+    modulation = get_modulation(rate.modulation)
+    control_subcarriers = list(control_subcarriers)
+
+    if control_bits_per_packet and select_subcarriers:
+        lead = rx.receive(channel.transmit(tx.transmit(psdu, rate).waveform))
+        channel.evolve(gap_s)
+        if lead.ok and lead.decoded is not None and lead.observation is not None:
+            reference = reconstruct_reference_symbols(
+                lead.decoded.scrambled_bits, rate
+            )
+            evms = per_subcarrier_evm(
+                lead.observation.eq_data_grid[: reference.shape[0]],
+                reference,
+                modulation,
+            )
+            selection = SubcarrierSelector().select(
+                evms, modulation, target_count=len(control_subcarriers)
+            )
+            if selection.subcarriers:
+                control_subcarriers = list(selection.subcarriers)
+
+    planner = SilencePlanner(control_subcarriers, codec)
+    waves: List[np.ndarray] = []
+    sent_bits: List[np.ndarray] = []
+    for _ in range(n_packets):
+        if control_bits_per_packet:
+            bits = rng.integers(
+                0, 2, size=control_bits_per_packet, dtype=np.uint8
+            )
+            plan = planner.plan(bits, n_symbols)
+            frame = tx.transmit(psdu, rate, silence_mask=plan.mask)
+            sent_bits.append(plan.embedded_bits)
+        else:
+            frame = tx.transmit(psdu, rate)
+            sent_bits.append(np.zeros(0, dtype=np.uint8))
+        waves.append(channel.transmit(frame.waveform))
+        channel.evolve(gap_s)
+
+    observations = rx.observe_many(waves) if waves else []
+    masks: List[Optional[np.ndarray]] = []
+    control_lost: List[bool] = []
+    for obs in observations:
+        if obs is None or obs.signal is None:
+            masks.append(None)
+            control_lost.append(True)
+            continue
+        h_gains = np.abs(obs.h_data) ** 2
+        report = detector.detect(
+            obs.raw_data_grid,
+            control_subcarriers,
+            obs.noise_var,
+            h_gains=h_gains,
+            min_symbol_energy=modulation.min_symbol_energy,
+        )
+        masks.append(report.mask)
+        # CosReceiver's detectability guard: a control subcarrier whose
+        # active symbols sit near the detection threshold cannot host
+        # silence signalling — the message is lost, though the detected
+        # mask still serves as erasure input (the safe direction).
+        floor = detector.threshold_for(obs.noise_var)
+        control_lost.append(
+            any(
+                modulation.min_symbol_energy * h_gains[c] < 2.0 * floor
+                for c in control_subcarriers
+            )
+        )
+    results = rx.decode_many(observations, masks)
+
+    accuracies: List[float] = []
+    for bits, mask, lost in zip(sent_bits, masks, control_lost):
+        if bits.size == 0:
+            continue
+        recovered = np.zeros(0, dtype=np.uint8)
+        if mask is not None and not lost:
+            try:
+                recovered = planner.recover_bits(mask)
+            except ValueError:
+                pass
+        accuracies.append(control_group_accuracy(bits, recovered, codec.k))
+
+    prr = float(np.mean([r.ok for r in results])) if results else 0.0
+    accuracy = float(np.mean(accuracies)) if accuracies else 1.0
+    return OperatingPoint(
+        n_packets=n_packets,
+        prr=prr,
+        message_accuracy=accuracy,
+        n_control_packets=len(accuracies),
+    )

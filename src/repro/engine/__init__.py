@@ -29,7 +29,12 @@ Guarantees (see ``docs/engine.md`` for the full contract):
   expensive objects (one PHY per process, not one per call).
 """
 
-from repro.engine.core import run_sweep, run_trials
+from repro.engine.core import (
+    run_batched_sweep,
+    run_batched_trials,
+    run_sweep,
+    run_trials,
+)
 from repro.engine.executors import (
     ProcessExecutor,
     SerialExecutor,
@@ -46,6 +51,8 @@ __all__ = [
     "make_specs",
     "run_trials",
     "run_sweep",
+    "run_batched_trials",
+    "run_batched_sweep",
     "SerialExecutor",
     "ProcessExecutor",
     "make_executor",

@@ -43,6 +43,7 @@ from repro.kernels.dispatch import (
     available_backends,
     backend_name,
     decode_many,
+    deinterleave_rx,
     get_backend,
     set_backend,
     use_backend,
@@ -56,6 +57,7 @@ __all__ = [
     "available_backends",
     "backend_name",
     "decode_many",
+    "deinterleave_rx",
     "get_backend",
     "set_backend",
     "use_backend",

@@ -38,11 +38,18 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.kernels import cext, numba_backend
+from repro.kernels.interleave import (
+    deinterleave_rx_numba,
+    deinterleave_rx_numpy,
+    deinterleave_rx_oracle,
+    warmup_rx_gather,
+)
 from repro.kernels.scramble import prbs_sequence, prbs_state_table
 from repro.kernels.tables import block_tables
 from repro.kernels.viterbi_numpy import (
     DEFAULT_BLOCK,
     decode_blocked,
+    decode_blocked_batch,
     decode_reference,
 )
 from repro.utils.env import env_int, env_str
@@ -52,6 +59,7 @@ __all__ = [
     "available_backends",
     "backend_name",
     "decode_many",
+    "deinterleave_rx",
     "get_backend",
     "set_backend",
     "use_backend",
@@ -71,13 +79,17 @@ class KernelBackend:
     ``viterbi_decode(llrs, terminated)`` decodes a single rate-1/2 LLR
     stream; ``viterbi_decode_batch(llrs2d, terminated)`` an equal-length
     ``(B, 2n)`` batch in one call (the :func:`decode_many` helper groups
-    mixed lengths).  ``prewarm()`` pays any one-off cost (JIT compilation,
-    table builds) outside the measured path.
+    mixed lengths).  ``deinterleave_rx(values, n_cbps, n_bpsc, code_rate,
+    fill)`` applies the composed per-symbol deinterleave + depuncture
+    gather of :mod:`repro.kernels.interleave`.  ``prewarm()`` pays any
+    one-off cost (JIT compilation, table builds) outside the measured
+    path.
     """
 
     name: str
     viterbi_decode: Callable[[np.ndarray, bool], np.ndarray]
     viterbi_decode_batch: Callable[[np.ndarray, bool], np.ndarray]
+    deinterleave_rx: Callable[..., np.ndarray]
     prewarm: Callable[[], None]
 
 
@@ -90,6 +102,10 @@ def _viterbi_block() -> int:
 
 def _numpy_decode(llrs: np.ndarray, terminated: bool = True) -> np.ndarray:
     return decode_blocked(llrs, terminated, block=_viterbi_block())
+
+
+def _numpy_decode_batch(llrs2d: np.ndarray, terminated: bool = True) -> np.ndarray:
+    return decode_blocked_batch(llrs2d, terminated, block=_viterbi_block())
 
 
 def _batch_via_single(
@@ -109,6 +125,7 @@ def _numpy_prewarm() -> None:
     block = _viterbi_block()
     for k in range(1, block + 1):
         block_tables(k)
+    warmup_rx_gather()
     prbs_sequence(1)
     prbs_state_table()
     # Touch every modulation's cached tables (import here: modulation
@@ -128,13 +145,15 @@ _REGISTRY: Dict[str, KernelBackend] = {
     "numpy": KernelBackend(
         name="numpy",
         viterbi_decode=_numpy_decode,
-        viterbi_decode_batch=_batch_via_single(_numpy_decode),
+        viterbi_decode_batch=_numpy_decode_batch,
+        deinterleave_rx=deinterleave_rx_numpy,
         prewarm=_numpy_prewarm,
     ),
     "reference": KernelBackend(
         name="reference",
         viterbi_decode=decode_reference,
         viterbi_decode_batch=_batch_via_single(decode_reference),
+        deinterleave_rx=deinterleave_rx_oracle,
         prewarm=_numpy_prewarm,
     ),
 }
@@ -144,6 +163,7 @@ if numba_backend.HAVE_NUMBA:  # pragma: no cover — numba-only environments
         name="numba",
         viterbi_decode=numba_backend.decode_jit,
         viterbi_decode_batch=numba_backend.decode_batch_jit,
+        deinterleave_rx=deinterleave_rx_numba,
         prewarm=_numba_prewarm,
     )
 
@@ -158,6 +178,7 @@ if cext.compiler_available():
         name="cext",
         viterbi_decode=cext.decode_c,
         viterbi_decode_batch=_batch_via_single(cext.decode_c),
+        deinterleave_rx=deinterleave_rx_numpy,
         prewarm=_cext_prewarm,
     )
 
@@ -277,3 +298,20 @@ def decode_many(
         for row, i in enumerate(indices):
             out[i] = decoded[row]
     return out  # type: ignore[return-value]
+
+
+def deinterleave_rx(
+    values: np.ndarray,
+    n_cbps: int,
+    n_bpsc: int,
+    code_rate,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Composed per-symbol deinterleave + depuncture on the active backend.
+
+    ``values`` is ``(..., n_symbols * n_cbps)`` received metrics (any
+    leading batch shape); the result is ``(..., n_symbols * 2 * n_dbps)``
+    with ``fill`` at every punctured position.  Pure element moves — every
+    backend is bit-for-bit identical, batched or row by row.
+    """
+    return get_backend().deinterleave_rx(values, n_cbps, n_bpsc, code_rate, fill)

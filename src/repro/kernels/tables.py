@@ -11,8 +11,15 @@ later step's preference dominates, each preferring label 0).
 
 Because each pair metric is ``±llr_A ± llr_B``, a super-branch metric is a
 fixed ±1 linear combination of the block's ``2k`` LLRs.  :func:`block_tables`
-therefore returns a ``(2k, 64·2^k)`` *sign matrix* so the branch metrics of
-every super-step of a codeword come out of one BLAS matmul.
+returns that combination two ways: a ``(2k, 64·2^k)`` *sign matrix* (one
+matmul yields every super-step's branch metrics) and a ``(k, 64·2^k)``
+*pair-index* table (``pair_index[i]`` names which of the four per-step pair
+metrics step ``i`` contributes).  The blocked kernel uses the pair-index
+form: accumulating ``k`` gathered pair metrics in fixed step order is
+batch-shape-invariant — unlike BLAS, whose summation order (and therefore
+last-ulp rounding) can differ between a ``(1, 2k)`` and a ``(64·n, 2k)``
+left operand — which is what makes the batched decoder bit-for-bit equal
+to the single-codeword path on *all* float inputs, not just exact ones.
 """
 
 from __future__ import annotations
@@ -52,12 +59,29 @@ class BlockTables(NamedTuple):
         ``(2k, 64·2^k)`` float64, C-contiguous — transposed sign matrix;
         ``block_llrs @ sign_matrix_t`` yields the flat ``(s, j)`` branch
         metrics of each super-step.
+    pair_index:
+        ``(k, 64·2^k)`` intp — ``pair_index[i, s * 2^k + j]`` is the pair
+        hypothesis (``2*A + B``) taken at relative step ``i`` along
+        super-branch ``j`` into state ``s``.  Gathering the per-step pair
+        metrics through it and summing in step order gives the same branch
+        metrics as the sign matrix with a *fixed*, batch-independent
+        rounding order.
+    combo_index:
+        ``(64·2^k,)`` intp — the base-4 digit string of a super-branch's
+        pair hypotheses, earliest step in the highest digit:
+        ``combo_index[s * 2^k + j] = Σ_i pair_index[i, ·] · 4^(k-1-i)``.
+        The kernel left-folds the ``k`` per-step pair metrics into a
+        ``4^k`` sums table (one fixed-order add tree, independent of the
+        batch shape) and gathers branch metrics through this index —
+        ~6× fewer element touches than gathering per step.
     """
 
     k: int
     prev_state: np.ndarray
     info_bits: np.ndarray
     sign_matrix_t: np.ndarray
+    pair_index: np.ndarray
+    combo_index: np.ndarray
 
 
 @lru_cache(maxsize=None)
@@ -70,6 +94,7 @@ def block_tables(k: int) -> BlockTables:
     prev_k = np.empty((N_STATES, n_branches), dtype=np.intp)
     bits_k = np.empty((N_STATES, n_branches, k), dtype=np.uint8)
     signs = np.zeros((N_STATES, n_branches, 2 * k))
+    pair_index = np.empty((k, N_STATES * n_branches), dtype=np.intp)
     for s in range(N_STATES):
         for j in range(n_branches):
             state = s
@@ -80,11 +105,16 @@ def block_tables(k: int) -> BlockTables:
                 pair = int(trellis.branch_pair[state, x])
                 signs[s, j, 2 * i] = PAIR_SIGN_A[pair]
                 signs[s, j, 2 * i + 1] = PAIR_SIGN_B[pair]
+                pair_index[i, s * n_branches + j] = pair
                 bits_k[s, j, i] = trellis.input_bit[state]
                 state = int(trellis.prev_state[state, x])
             prev_k[s, j] = state
     sign_matrix_t = np.ascontiguousarray(
         signs.reshape(N_STATES * n_branches, 2 * k).T
     )
+    combo_index = np.zeros(N_STATES * n_branches, dtype=np.intp)
+    for i in range(k):
+        combo_index = combo_index * 4 + pair_index[i]
     return BlockTables(k=k, prev_state=prev_k, info_bits=bits_k,
-                       sign_matrix_t=sign_matrix_t)
+                       sign_matrix_t=sign_matrix_t, pair_index=pair_index,
+                       combo_index=combo_index)

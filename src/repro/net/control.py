@@ -22,7 +22,12 @@ paper's comparison:
 ``cos_fidelity="phy"`` replaces the operating-point table with a
 delivery probability *measured* by running the real ``cos.link`` PHY
 stack at the carrier's SINR (cached per integer dB) — expensive, so
-meant for small scenarios.
+meant for small scenarios.  ``cos_fidelity="surrogate"`` replays those
+same measurements from a prebuilt table
+(:class:`repro.net.sinr.SinrModel` over a
+:class:`repro.phy.surrogate.SurrogateTable`): identical values on the
+table's integer-dB grid, at table-lookup cost — measured fidelity at
+any scenario scale.
 """
 
 from __future__ import annotations
@@ -97,7 +102,7 @@ class ControlPlane:
     ) -> None:
         if mode not in ("explicit", "cos"):
             raise ValueError(f"unknown control mode {mode!r}")
-        if cos_fidelity not in ("table", "phy"):
+        if cos_fidelity not in ("table", "phy", "surrogate"):
             raise ValueError(f"unknown cos_fidelity {cos_fidelity!r}")
         self.mode = mode
         self.rng = rng
@@ -199,6 +204,10 @@ class ControlPlane:
         if p is None:
             if self.cos_fidelity == "phy":
                 p = measured_cos_delivery_prob(carrier_sinr_db)
+            elif self.cos_fidelity == "surrogate":
+                from repro.net.sinr import SinrModel
+
+                p = SinrModel.default().cos_delivery_prob(carrier_sinr_db)
             else:
                 p = cos_delivery_prob_for(carrier_sinr_db)
         pending = self._pending.get((frame.src, frame.dst), [])

@@ -134,7 +134,7 @@ class ScenarioSpec:
     control_octets: int = 14
     data_rate_mbps: Optional[int] = None  # None = SINR-adaptive
     cos_delivery_prob: Optional[float] = None  # None = operating-point table
-    cos_fidelity: str = "table"  # "table" | "phy"
+    cos_fidelity: str = "table"  # "table" | "phy" | "surrogate"
     max_embed_per_frame: int = 4
     bsses: Tuple[BssSpec, ...] = ()
     traffic: Tuple[TrafficSpec, ...] = ()
@@ -235,6 +235,10 @@ class ScenarioSpec:
     def with_medium(self, medium_mode: str) -> "ScenarioSpec":
         """The same scenario under the other medium mode."""
         return dataclasses.replace(self, medium_mode=medium_mode)
+
+    def with_fidelity(self, cos_fidelity: str) -> "ScenarioSpec":
+        """The same scenario under another CoS fidelity mode."""
+        return dataclasses.replace(self, cos_fidelity=cos_fidelity)
 
     # ------------------------------------------------------------------
     # Serialisation

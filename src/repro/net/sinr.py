@@ -44,6 +44,7 @@ __all__ = [
     "mw_to_dbm",
     "sinr_db",
     "SigmoidErrorModel",
+    "SinrModel",
     "ReceptionModel",
     "cos_delivery_prob_for",
 ]
@@ -95,6 +96,52 @@ class SigmoidErrorModel:
         # Clamp the exponent so extreme SINRs don't overflow.
         x = min(max(x, -60.0), 60.0)
         return 1.0 / (1.0 + math.exp(-x))
+
+
+class SinrModel:
+    """Measured-PHY SINR curves behind the error-model interface.
+
+    Wraps a :class:`repro.phy.surrogate.SurrogateTable` — real-PHY PRR
+    sweeps, monotone-fitted — and exposes the two lookups the network
+    layer keys frame fates on:
+
+    * :meth:`prr` is drop-in compatible with
+      :class:`SigmoidErrorModel.prr` (so a ``ReceptionModel`` can run on
+      measured curves instead of the analytic waterfall);
+    * :meth:`cos_delivery_prob` replays the ``cos_fidelity="phy"``
+      measurement at table-lookup cost — identical values on the table's
+      integer-dB grid, clamped outside it.
+
+    Construct via :meth:`default` (the committed table, or the
+    ``REPRO_SURROGATE_TABLE`` override) or :meth:`from_path`; the
+    default-table load is cached process-wide, so per-frame lookups
+    never touch the filesystem.
+    """
+
+    _default: "SinrModel" = None  # class-level cache
+
+    def __init__(self, table) -> None:
+        self.table = table
+
+    @classmethod
+    def default(cls) -> "SinrModel":
+        if cls._default is None:
+            from repro.phy.surrogate import load_default_table
+
+            cls._default = cls(load_default_table())
+        return cls._default
+
+    @classmethod
+    def from_path(cls, path) -> "SinrModel":
+        from repro.phy.surrogate import SurrogateTable
+
+        return cls(SurrogateTable.load(path))
+
+    def prr(self, sinr_db: float, rate_mbps: int) -> float:
+        return self.table.prr(sinr_db, rate_mbps)
+
+    def cos_delivery_prob(self, sinr_db: float) -> float:
+        return self.table.cos_delivery_prob(sinr_db)
 
 
 @dataclass(frozen=True)

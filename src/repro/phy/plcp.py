@@ -10,12 +10,13 @@ punctures and interleaves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.phy.convcode import conv_encode, depuncture, puncture
-from repro.phy.interleaver import deinterleave, interleave
+from repro.kernels import dispatch as _kernels
+from repro.phy.convcode import conv_encode, puncture
+from repro.phy.interleaver import interleave
 from repro.phy.modulation import get_modulation
 from repro.phy.params import (
     RATE_TABLE,
@@ -34,6 +35,8 @@ __all__ = [
     "build_data_bits",
     "encode_data_field",
     "decode_data_field",
+    "decode_data_fields",
+    "signal_llrs_to_fields",
     "DecodedData",
     "DEFAULT_SCRAMBLER_STATE",
 ]
@@ -105,10 +108,24 @@ def signal_bits_to_symbols(bits: np.ndarray) -> np.ndarray:
 
 def signal_llrs_to_field(llrs: np.ndarray) -> Optional[SignalField]:
     """Decode the SIGNAL symbol from its 48 per-bit LLRs."""
+    return signal_llrs_to_fields(np.asarray(llrs, dtype=np.float64)[None, :])[0]
+
+
+def signal_llrs_to_fields(llrs2d: np.ndarray) -> List[Optional[SignalField]]:
+    """Decode a ``(B, 48)`` batch of SIGNAL symbols in one pass.
+
+    The single-packet :func:`signal_llrs_to_field` is this function at
+    ``B = 1``, so batched and per-packet decoding are bit-for-bit equal.
+    (SIGNAL is BPSK rate 1/2 — no puncturing — so the composed RX gather
+    reduces to the plain deinterleaver permutation.)
+    """
     rate = _signal_rate()
-    deinterleaved = deinterleave(np.asarray(llrs, dtype=np.float64), rate)
-    bits = _VITERBI.decode(deinterleaved)
-    return decode_signal_bits(bits)
+    llrs2d = np.atleast_2d(np.asarray(llrs2d, dtype=np.float64))
+    deinterleaved = _kernels.deinterleave_rx(
+        llrs2d, rate.n_cbps, rate.n_bpsc, rate.code_rate
+    )
+    bits_rows = _VITERBI.decode_many(list(deinterleaved))
+    return [decode_signal_bits(bits) for bits in bits_rows]
 
 
 def build_data_bits(
@@ -171,21 +188,45 @@ def decode_data_field(llrs: np.ndarray, rate: PhyRate, n_octets: int) -> Decoded
     rate, n_octets:
         From the decoded SIGNAL field.
     """
-    deinterleaved = deinterleave(np.asarray(llrs, dtype=np.float64), rate)
-    full = depuncture(deinterleaved, rate.code_rate, fill=0.0)
-    decoded = _VITERBI.decode(full)
-    # Descramble: the first 7 SERVICE bits were zero before scrambling, so
-    # they reveal the transmitter's scrambler state.  A badly corrupted
-    # frame may present an unreachable (all-zero) pattern; the frame is
-    # lost either way, so descrambling is skipped and the CRC rejects it.
-    try:
-        state = Scrambler.recover_state(decoded[:7])
-        descrambled = Scrambler(state).scramble(decoded)
-    except ValueError:
-        descrambled = decoded
-    psdu_bits = descrambled[SERVICE_BITS : SERVICE_BITS + 8 * n_octets]
-    return DecodedData(
-        psdu=bits_to_bytes(psdu_bits),
-        descrambled_bits=descrambled,
-        scrambled_bits=decoded,
+    llrs = np.asarray(llrs, dtype=np.float64)
+    return decode_data_fields(llrs[None, :], rate, n_octets)[0]
+
+
+def decode_data_fields(
+    llrs2d: np.ndarray, rate: PhyRate, n_octets: int
+) -> List[DecodedData]:
+    """Batched RX bit pipeline over a ``(B, n_symbols * n_cbps)`` block.
+
+    Deinterleaving + depuncturing run as one precomputed gather
+    (:func:`repro.kernels.deinterleave_rx`) and all codewords go through
+    the backend's batch Viterbi in a single call; descrambling is a cheap
+    per-row epilogue.  The single-packet :func:`decode_data_field` is this
+    function at ``B = 1``, which is what makes batched and per-packet
+    receive paths bit-for-bit identical.
+    """
+    llrs2d = np.atleast_2d(np.asarray(llrs2d, dtype=np.float64))
+    full = _kernels.deinterleave_rx(
+        llrs2d, rate.n_cbps, rate.n_bpsc, rate.code_rate, fill=0.0
     )
+    decoded_rows = _VITERBI.decode_many(list(full))
+    out: List[DecodedData] = []
+    for decoded in decoded_rows:
+        # Descramble: the first 7 SERVICE bits were zero before scrambling,
+        # so they reveal the transmitter's scrambler state.  A badly
+        # corrupted frame may present an unreachable (all-zero) pattern;
+        # the frame is lost either way, so descrambling is skipped and the
+        # CRC rejects it.
+        try:
+            state = Scrambler.recover_state(decoded[:7])
+            descrambled = Scrambler(state).scramble(decoded)
+        except ValueError:
+            descrambled = decoded
+        psdu_bits = descrambled[SERVICE_BITS : SERVICE_BITS + 8 * n_octets]
+        out.append(
+            DecodedData(
+                psdu=bits_to_bytes(psdu_bits),
+                descrambled_bits=descrambled,
+                scrambled_bits=decoded,
+            )
+        )
+    return out

@@ -26,7 +26,9 @@ __all__ = [
     "stf_frequency_symbol",
     "generate_preamble",
     "estimate_channel",
+    "estimate_channel_batch",
     "estimate_noise_from_ltf",
+    "estimate_noise_from_ltf_batch",
     "estimate_cfo",
     "synchronize",
 ]
@@ -109,6 +111,36 @@ def estimate_channel(preamble_samples: np.ndarray) -> np.ndarray:
     return h
 
 
+def _ltf_ffts_batch(preambles: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    ltf_start = STF_SAMPLES + 32
+    first = preambles[:, ltf_start : ltf_start + N_FFT]
+    second = preambles[:, ltf_start + N_FFT : ltf_start + 2 * N_FFT]
+    return (
+        np.fft.fft(first, axis=1) / TIME_SCALE,
+        np.fft.fft(second, axis=1) / TIME_SCALE,
+    )
+
+
+def estimate_channel_batch(preambles: np.ndarray) -> np.ndarray:
+    """:func:`estimate_channel` over a ``(B, n_samples)`` stack.
+
+    Row ``i`` equals ``estimate_channel(preambles[i])`` bit-for-bit: the
+    row FFT and the per-bin arithmetic are elementwise per packet, so
+    batching changes no rounding.
+    """
+    preambles = np.asarray(preambles, dtype=np.complex128)
+    if preambles.ndim != 2:
+        raise ValueError("expected a (B, n_samples) preamble stack")
+    if preambles.shape[1] < PREAMBLE_SAMPLES:
+        raise ValueError("preamble slice too short")
+    fft1, fft2 = _ltf_ffts_batch(preambles)
+    known = ltf_frequency_symbol()
+    used = known != 0
+    h = np.zeros((preambles.shape[0], N_FFT), dtype=np.complex128)
+    h[:, used] = 0.5 * (fft1[:, used] + fft2[:, used]) / known[used]
+    return h
+
+
 def estimate_noise_from_ltf(preamble_samples: np.ndarray) -> float:
     """Per-subcarrier noise variance from the difference of the LTF twins.
 
@@ -120,6 +152,26 @@ def estimate_noise_from_ltf(preamble_samples: np.ndarray) -> float:
     used = ltf_frequency_symbol() != 0
     diff = fft1[used] - fft2[used]
     return float(np.mean(np.abs(diff) ** 2) / 2.0)
+
+
+def estimate_noise_from_ltf_batch(preambles: np.ndarray) -> np.ndarray:
+    """:func:`estimate_noise_from_ltf` over a ``(B, n_samples)`` stack.
+
+    Returns a ``(B,)`` float64 vector; entry ``i`` equals the scalar
+    estimator on row ``i`` bit-for-bit (the mean reduces each row
+    independently).
+    """
+    preambles = np.asarray(preambles, dtype=np.complex128)
+    if preambles.ndim != 2:
+        raise ValueError("expected a (B, n_samples) preamble stack")
+    fft1, fft2 = _ltf_ffts_batch(preambles)
+    used = ltf_frequency_symbol() != 0
+    energy = np.abs(fft1[:, used] - fft2[:, used]) ** 2
+    # The mean must reduce one row at a time: numpy's axis-1 reduction may
+    # split its pairwise summation differently than the 1-D reduction the
+    # scalar estimator uses, which moves the result by an ulp.  A row of a
+    # C-contiguous matrix reduces exactly like the standalone vector.
+    return np.array([float(np.mean(row)) for row in energy]) / 2.0
 
 
 def estimate_cfo(preamble_samples: np.ndarray) -> float:

@@ -14,7 +14,7 @@ The receiver is split into two stages so the CoS layer can interpose:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,26 +22,64 @@ from repro.kernels import backend_name
 from repro.obs.trace import span
 from repro.phy.frames import Mpdu, parse_mpdu
 from repro.phy.modulation import get_modulation
-from repro.phy.ofdm import DATA_BINS, extract_data, extract_pilots, time_to_grid
+from repro.phy.ofdm import (
+    DATA_BINS,
+    PILOT_BINS,
+    extract_data,
+    extract_pilots,
+    time_to_grid,
+)
 from repro.phy.params import N_DATA_SUBCARRIERS, SYMBOL_SAMPLES
 from repro.phy.plcp import (
     DecodedData,
     SignalField,
     decode_data_field,
+    decode_data_fields,
     signal_llrs_to_field,
+    signal_llrs_to_fields,
 )
 from repro.phy.preamble import (
     PREAMBLE_SAMPLES,
     SAMPLE_RATE_HZ,
     estimate_cfo,
     estimate_channel,
+    estimate_channel_batch,
     estimate_noise_from_ltf,
+    estimate_noise_from_ltf_batch,
     synchronize,
 )
 
 __all__ = ["FrameObservation", "RxResult", "Receiver"]
 
 _H_FLOOR = 1e-9
+
+
+def _as_waveform_batch(samples_batch: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack a batch of waveforms into a ``(B, n_samples)`` complex array.
+
+    Accepts a 2-D array or any sequence of equal-length 1-D waveforms;
+    unequal lengths raise (callers with ragged batches loop the single
+    path instead — see ``repro.experiments.common.send_probe_packets``).
+    """
+    if isinstance(samples_batch, np.ndarray):
+        batch = np.asarray(samples_batch, dtype=np.complex128)
+    else:
+        rows = [np.asarray(row, dtype=np.complex128) for row in samples_batch]
+        if any(row.ndim != 1 for row in rows):
+            raise ValueError("waveform batch entries must be 1-D sample arrays")
+        if len({row.size for row in rows}) > 1:
+            raise ValueError(
+                "waveform batch entries must share one length; "
+                "mixed-length packets go through receive() per packet"
+            )
+        batch = (
+            np.stack(rows) if rows else np.zeros((0, 0), dtype=np.complex128)
+        )
+    if batch.ndim != 2:
+        raise ValueError(
+            f"expected a (B, n_samples) waveform batch, got shape {batch.shape}"
+        )
+    return batch
 
 
 @dataclass
@@ -134,12 +172,17 @@ class Receiver:
         if self.correct_cfo:
             # STF/LTF-based CFO estimate, derotated over the whole frame;
             # the pilots then track only the small residual phase drift.
+            # The estimator returns exactly 0.0 on phase-clean channels
+            # (the autocorrelation angle of an unrotated preamble), and
+            # multiplying by exp(0j) = 1+0j is a bit-exact identity — so
+            # the full-frame copy + derotation is skipped outright.
             cfo = estimate_cfo(samples[start : start + PREAMBLE_SAMPLES])
-            n = np.arange(samples.size - start)
-            samples = samples.copy()
-            samples[start:] = samples[start:] * np.exp(
-                -2j * np.pi * cfo * n / SAMPLE_RATE_HZ
-            )
+            if cfo != 0.0:
+                n = np.arange(samples.size - start)
+                samples = samples.copy()
+                samples[start:] = samples[start:] * np.exp(
+                    -2j * np.pi * cfo * n / SAMPLE_RATE_HZ
+                )
         preamble = samples[start : start + PREAMBLE_SAMPLES]
         h_est = estimate_channel(preamble)
         noise_ltf = estimate_noise_from_ltf(preamble)
@@ -202,8 +245,6 @@ class Receiver:
         The residuals (received minus expected pilot values, before
         equalisation) feed the pilot-aided noise estimate of eq. (6).
         """
-        from repro.phy.ofdm import PILOT_BINS
-
         received, sent = extract_pilots(grid, symbol_offset)
         h_pilots = h_est[PILOT_BINS]
         expected = sent * h_pilots[None, :]
@@ -219,6 +260,162 @@ class Receiver:
             return noise_ltf
         pilot_var = float(np.mean(np.abs(pilot_residuals) ** 2))
         return 0.5 * (noise_ltf + pilot_var)
+
+    # ------------------------------------------------------------------
+    # Stage 1, batched
+    # ------------------------------------------------------------------
+
+    def observe_many(
+        self, samples_batch: Sequence[np.ndarray]
+    ) -> List[Optional[FrameObservation]]:
+        """:meth:`observe` over a batch of equal-length waveforms.
+
+        ``samples_batch`` is a ``(B, n_samples)`` complex array (or a
+        sequence of equal-length 1-D waveforms).  Entry ``i`` of the result
+        equals ``observe(samples_batch[i])`` bit-for-bit: every batched
+        stage — row FFTs, channel/noise estimation, pilot phase, demapping,
+        SIGNAL decoding — is elementwise or reduces each packet
+        independently, so batching changes no rounding (the property tests
+        in ``tests/test_phy_batch.py`` enforce this across all rates).
+        """
+        with span("phy.rx.observe_many") as sp:
+            batch = _as_waveform_batch(samples_batch)
+            sp.set(n_packets=batch.shape[0])
+            return self._observe_many(batch)
+
+    def _observe_many(self, batch: np.ndarray) -> List[Optional[FrameObservation]]:
+        n_rows = batch.shape[0]
+        if n_rows == 0:
+            return []
+        if not self.known_timing:
+            # Matched-filter sync yields a per-row start offset, which
+            # breaks the aligned-stack layout; fall back to per-packet
+            # observation (identical by definition).
+            return [self._observe(row) for row in batch]
+        n_samples = batch.shape[1]
+        if n_samples < PREAMBLE_SAMPLES + SYMBOL_SAMPLES:
+            return [None] * n_rows
+
+        if self.correct_cfo:
+            # Per-row estimate (320 samples each — cheap next to the
+            # payload FFTs); rows with a nonzero estimate are derotated
+            # with exactly the single-packet expression.
+            derotate: Dict[int, float] = {}
+            for b in range(n_rows):
+                cfo = estimate_cfo(batch[b, :PREAMBLE_SAMPLES])
+                if cfo != 0.0:
+                    derotate[b] = cfo
+            if derotate:
+                batch = batch.copy()
+                n = np.arange(n_samples)
+                for b, cfo in derotate.items():
+                    batch[b] = batch[b] * np.exp(
+                        -2j * np.pi * cfo * n / SAMPLE_RATE_HZ
+                    )
+
+        preambles = batch[:, :PREAMBLE_SAMPLES]
+        h_est_b = estimate_channel_batch(preambles)
+        noise_ltf_b = estimate_noise_from_ltf_batch(preambles)
+
+        payload = batch[:, PREAMBLE_SAMPLES:]
+        n_whole = payload.shape[1] // SYMBOL_SAMPLES
+        grid_b = time_to_grid(
+            payload[:, : n_whole * SYMBOL_SAMPLES].reshape(-1)
+        ).reshape(n_rows, n_whole, -1)
+
+        h_data_b = h_est_b[:, DATA_BINS]
+        safe_h_b = np.where(np.abs(h_data_b) < _H_FLOOR, _H_FLOOR, h_data_b)
+
+        # SIGNAL symbols (polarity index 0), demapped and decoded in one
+        # pass across the batch.
+        signal_raw_b = grid_b[:, 0, :][:, DATA_BINS]
+        phase0_b, res0_b = self._pilot_phase_batch(
+            grid_b[:, :1], h_est_b, symbol_offset=0
+        )
+        noise0_b = self._refine_noise_batch(noise_ltf_b, res0_b)
+        eq_signal_b = (signal_raw_b / safe_h_b) * np.exp(-1j * phase0_b[:, 0])[
+            :, None
+        ]
+        csi0_b = np.abs(h_data_b) ** 2 / np.maximum(noise0_b, 1e-15)[:, None]
+        signal_llrs = (
+            get_modulation("bpsk")
+            .demap_soft(eq_signal_b.reshape(-1), csi0_b.reshape(-1))
+            .reshape(n_rows, -1)
+        )
+        signals = signal_llrs_to_fields(signal_llrs)
+
+        # DATA symbols (polarity indices 1..n): rows sharing a symbol count
+        # (in practice: every row of a same-spec batch) are equalised and
+        # phase-tracked as one stack.
+        n_avail = n_whole - 1
+        groups: Dict[int, List[int]] = {}
+        for b, signal in enumerate(signals):
+            n_data = n_avail
+            if signal is not None:
+                n_data = min(n_data, signal.n_data_symbols)
+            groups.setdefault(n_data, []).append(b)
+
+        out: List[Optional[FrameObservation]] = [None] * n_rows
+        for n_data, members in groups.items():
+            rows = np.asarray(members, dtype=np.intp)
+            data_grid_g = grid_b[rows, 1 : 1 + n_data]
+            raw_g = data_grid_g[:, :, DATA_BINS]
+            phase_g, res_g = self._pilot_phase_batch(
+                data_grid_g, h_est_b[rows], symbol_offset=1
+            )
+            noise_g = self._refine_noise_batch(
+                noise_ltf_b[rows], np.concatenate([res0_b[rows], res_g], axis=1)
+            )
+            eq_g = (raw_g / safe_h_b[rows][:, None, :]) * np.exp(-1j * phase_g)[
+                :, :, None
+            ]
+            for i, b in enumerate(members):
+                out[b] = FrameObservation(
+                    h_est=h_est_b[b],
+                    h_data=h_data_b[b],
+                    noise_var=float(noise_g[i]),
+                    signal=signals[b],
+                    raw_data_grid=raw_g[i],
+                    eq_data_grid=eq_g[i],
+                )
+        return out
+
+    @staticmethod
+    def _pilot_phase_batch(
+        grids: np.ndarray, h_est_b: np.ndarray, symbol_offset: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`_pilot_phase` over a ``(B, n_symbols, 64)`` grid stack."""
+        received = grids[:, :, PILOT_BINS]
+        # The transmitted pilot values depend only on (n_symbols, offset);
+        # reuse the single-packet helper so the arithmetic stays shared.
+        _, sent = extract_pilots(grids[0], symbol_offset)
+        h_pilots = h_est_b[:, PILOT_BINS]
+        expected = sent[None, :, :] * h_pilots[:, None, :]
+        # The correlation must reduce a C-contiguous array: numpy picks a
+        # different accumulation order for strided reduction inputs, which
+        # would move the sum (and hence the phase) off the scalar path by
+        # an ulp.
+        products = np.ascontiguousarray(received * np.conj(expected))
+        corr = np.sum(products, axis=2)
+        phase = np.angle(np.where(corr == 0, 1.0, corr))
+        residuals = received * np.exp(-1j * phase)[:, :, None] - expected
+        return phase, residuals.reshape(grids.shape[0], -1)
+
+    @staticmethod
+    def _refine_noise_batch(
+        noise_ltf_b: np.ndarray, pilot_residuals_b: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`_refine_noise` over per-row residual stacks.
+
+        The residual-power mean reduces one row at a time: numpy's axis-1
+        reduction can split its pairwise summation differently than the
+        1-D reduction of the scalar path, shifting the result by an ulp.
+        """
+        if pilot_residuals_b.shape[1] == 0:
+            return np.asarray(noise_ltf_b, dtype=np.float64)
+        power = np.abs(pilot_residuals_b) ** 2
+        pilot_var = np.array([float(np.mean(row)) for row in power])
+        return 0.5 * (noise_ltf_b + pilot_var)
 
     # ------------------------------------------------------------------
     # Stage 2: decoding
@@ -289,6 +486,112 @@ class Receiver:
         )
 
     # ------------------------------------------------------------------
+    # Stage 2, batched
+    # ------------------------------------------------------------------
+
+    def decode_many(
+        self,
+        observations: Sequence[Optional[FrameObservation]],
+        erasure_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[RxResult]:
+        """:meth:`decode` over a batch of observations.
+
+        Observations sharing a (rate, length) — every member of a
+        same-spec batch — are demapped in one :meth:`Modulation.demap_soft`
+        call and Viterbi-decoded through the backend's batch kernel;
+        stragglers (failed SIGNAL, truncated grids, ``None`` entries from
+        :meth:`observe_many`) take the per-packet path.  Entry ``i`` equals
+        ``decode(observations[i], erasure_masks[i])`` bit-for-bit.
+        """
+        if erasure_masks is not None and len(erasure_masks) != len(observations):
+            raise ValueError(
+                f"{len(erasure_masks)} erasure masks for "
+                f"{len(observations)} observations"
+            )
+        with span("phy.rx.decode_many") as sp:
+            sp.set(n_packets=len(observations), kernel_backend=backend_name())
+            return self._decode_many(observations, erasure_masks)
+
+    def _decode_many(
+        self,
+        observations: Sequence[Optional[FrameObservation]],
+        erasure_masks: Optional[Sequence[Optional[np.ndarray]]],
+    ) -> List[RxResult]:
+        def mask_for(i: int) -> Optional[np.ndarray]:
+            return None if erasure_masks is None else erasure_masks[i]
+
+        out: List[Optional[RxResult]] = [None] * len(observations)
+        groups: Dict[Tuple[float, int], List[int]] = {}
+        for i, obs in enumerate(observations):
+            if obs is None:
+                out[i] = RxResult(mpdu=parse_mpdu(None), signal=None, observation=None)
+            elif (
+                obs.signal is None
+                or obs.eq_data_grid.shape[0] < obs.signal.n_data_symbols
+            ):
+                out[i] = self._decode(obs, mask_for(i))
+            else:
+                key = (obs.signal.rate.mbps, obs.signal.length)
+                groups.setdefault(key, []).append(i)
+
+        for members in groups.values():
+            first = observations[members[0]]
+            rate = first.signal.rate
+            length = first.signal.length
+            n_symbols = first.signal.n_data_symbols
+            modulation = get_modulation(rate.modulation)
+            eq_g = np.stack(
+                [observations[i].eq_data_grid[:n_symbols] for i in members]
+            )
+            if self.decision == "soft":
+                csi_rows = np.stack(
+                    [
+                        np.abs(observations[i].h_data) ** 2
+                        / max(observations[i].noise_var, 1e-15)
+                        for i in members
+                    ]
+                )
+                csi_full = np.broadcast_to(csi_rows[:, None, :], eq_g.shape)
+                llrs = modulation.demap_soft(
+                    eq_g.reshape(-1), csi_full.reshape(-1)
+                )
+            else:
+                from repro.phy.viterbi import hard_bits_to_llrs
+
+                hard = modulation.demap_hard(eq_g.reshape(-1))
+                llrs = hard_bits_to_llrs(hard)
+            llrs = llrs.reshape(
+                len(members), n_symbols, N_DATA_SUBCARRIERS,
+                modulation.bits_per_symbol,
+            )
+            for row, i in enumerate(members):
+                mask = mask_for(i)
+                if mask is not None:
+                    mask = np.asarray(mask, dtype=bool)
+                    if mask.shape != (n_symbols, N_DATA_SUBCARRIERS):
+                        raise ValueError(
+                            f"erasure_mask shape {mask.shape} != "
+                            f"({n_symbols}, {N_DATA_SUBCARRIERS})"
+                        )
+                    llrs[row, mask] = 0.0
+            pre_viterbi = modulation.demap_hard(eq_g.reshape(-1)).reshape(
+                len(members), -1
+            )
+            decoded_rows = decode_data_fields(
+                llrs.reshape(len(members), -1), rate, length
+            )
+            for row, i in enumerate(members):
+                obs = observations[i]
+                out[i] = RxResult(
+                    mpdu=parse_mpdu(decoded_rows[row].psdu),
+                    signal=obs.signal,
+                    observation=obs,
+                    pre_viterbi_bits=pre_viterbi[row],
+                    decoded=decoded_rows[row],
+                )
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
 
     def receive(
         self, samples: np.ndarray, erasure_mask: Optional[np.ndarray] = None
@@ -298,3 +601,18 @@ class Receiver:
         if obs is None:
             return RxResult(mpdu=parse_mpdu(None), signal=None, observation=None)
         return self.decode(obs, erasure_mask)
+
+    def receive_many(
+        self,
+        samples_batch: Sequence[np.ndarray],
+        erasure_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[RxResult]:
+        """Batched full pipeline over equal-length waveforms.
+
+        Bit-for-bit equal to ``[receive(w, m) for w, m in zip(...)]`` —
+        same PSDUs, same CRC outcomes, same soft metrics — while running
+        the per-packet work (FFTs, channel estimation, demapping, Viterbi)
+        as stacked array operations.
+        """
+        observations = self.observe_many(samples_batch)
+        return self.decode_many(observations, erasure_masks)

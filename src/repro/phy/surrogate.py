@@ -1,0 +1,421 @@
+"""PRR surrogate tables: the real PHY, measured once, replayed for free.
+
+``repro.net`` decides frame fates from SINR-keyed curves.  Its default
+:class:`~repro.net.sinr.SigmoidErrorModel` is an *analytic* stand-in;
+``cos_fidelity="phy"`` runs the full OFDM/Viterbi stack per SINR point —
+faithful but far too slow for hundreds of nodes.  This module closes the
+gap: it sweeps the **real** PHY over an SINR × rate grid (through the
+batched receive path, via :func:`repro.engine.run_sweep`), fits a
+monotone PRR curve per rate, and serialises the result as a versioned
+JSON table keyed by a hash of the measurement spec.  The network layer
+(:class:`repro.net.sinr.SinrModel`, ``cos_fidelity="surrogate"``) then
+replays measured-PHY behaviour at table-lookup cost.
+
+Two determinism anchors make the surrogate testable against the live
+PHY:
+
+* PRR points are measured by :func:`measure_prr_point`, a pure function
+  of the spec fields — re-measuring any grid node reproduces the stored
+  raw value bit-for-bit.
+* The CoS accuracy curve is sampled at integer dB with **exactly** the
+  semantics of :func:`repro.net.control.measured_cos_delivery_prob`
+  (same position, seed, packet count, payload), so on grid nodes the
+  surrogate and ``cos_fidelity="phy"`` agree to the last bit.
+
+Build via :func:`build_surrogate_table` or ``repro net tables build``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.phy.params import RATE_TABLE
+
+__all__ = [
+    "TABLE_VERSION",
+    "SurrogateSpec",
+    "SurrogateTable",
+    "monotone_fit",
+    "measure_prr_point",
+    "measure_cos_point",
+    "build_surrogate_table",
+    "default_table_path",
+    "load_default_table",
+]
+
+TABLE_VERSION = 1
+
+#: Environment override for the default table location.
+_TABLE_ENV = "REPRO_SURROGATE_TABLE"
+
+#: The committed default table (built by ``repro net tables build``).
+_DEFAULT_TABLE = Path(__file__).resolve().parent / "tables" / "surrogate_default.json"
+
+
+@dataclass(frozen=True)
+class SurrogateSpec:
+    """Everything that determines a surrogate measurement, and nothing else.
+
+    The spec is hashed (canonical JSON, sha256) into the table key; two
+    tables with equal hashes were measured identically.  ``cos_position``
+    / ``cos_seed`` / ``cos_n_packets`` deliberately mirror the constants
+    of :func:`repro.net.control.measured_cos_delivery_prob` so the
+    default spec's CoS curve is bit-compatible with ``cos_fidelity="phy"``.
+    """
+
+    position: str = "A"
+    channel_seeds: Tuple[int, ...] = (0, 1, 2, 3)
+    n_packets: int = 50  # per (rate, SINR, seed) PRR probe
+    payload_octets: int = 256
+    sinr_min_db: float = -2.0
+    sinr_max_db: float = 30.0
+    sinr_step_db: float = 2.0
+    rates_mbps: Tuple[int, ...] = field(
+        default_factory=lambda: tuple(sorted(RATE_TABLE))
+    )
+    cos_position: str = "A"
+    cos_seed: int = 0
+    cos_n_packets: int = 12
+
+    def sinr_grid_db(self) -> List[float]:
+        n = int(round((self.sinr_max_db - self.sinr_min_db) / self.sinr_step_db))
+        return [self.sinr_min_db + i * self.sinr_step_db for i in range(n + 1)]
+
+    def cos_grid_db(self) -> List[int]:
+        """Integer-dB grid — the caching key of the phy fidelity mode."""
+        return list(
+            range(int(round(self.sinr_min_db)), int(round(self.sinr_max_db)) + 1)
+        )
+
+    def canonical(self) -> Dict:
+        return asdict(self)
+
+    def spec_hash(self) -> str:
+        text = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+def monotone_fit(values: np.ndarray) -> np.ndarray:
+    """Isotonic (non-decreasing) least-squares fit via pool-adjacent-violators.
+
+    PRR is physically non-decreasing in SINR; Monte-Carlo noise is not.
+    PAVA pools adjacent violating points to their mean, which both
+    restores monotonicity and keeps every fitted value inside the spread
+    of the raw points it pools — the property behind the build-time
+    ``max |fit - raw|`` check.
+    """
+    y = np.asarray(values, dtype=np.float64)
+    # Blocks of (mean, weight), merged while out of order.
+    means: List[float] = []
+    weights: List[float] = []
+    for value in y:
+        means.append(float(value))
+        weights.append(1.0)
+        while len(means) > 1 and means[-2] > means[-1]:
+            w = weights[-2] + weights[-1]
+            m = (means[-2] * weights[-2] + means[-1] * weights[-1]) / w
+            means[-2:] = [m]
+            weights[-2:] = [w]
+    out = np.empty_like(y)
+    i = 0
+    for m, w in zip(means, weights):
+        out[i : i + int(w)] = m
+        i += int(w)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Measurement primitives (pure in their arguments — re-runnable anywhere)
+# ---------------------------------------------------------------------------
+
+
+def measure_prr_point(
+    position: str,
+    snr_db: float,
+    rate_mbps: int,
+    n_packets: int,
+    payload_octets: int,
+    channel_seed: int,
+) -> float:
+    """PRR of the real PHY at one (SINR, rate, seed) point, batched.
+
+    Deterministic in its arguments: the channel, transmitter and
+    receiver draw from fixed seeds, and the batched receive path is
+    bit-for-bit equal to the looped one.
+    """
+    from repro.channel import IndoorChannel
+    from repro.cos.link import measure_operating_point
+
+    channel = IndoorChannel.position(
+        position, snr_db=float(snr_db), seed=int(channel_seed)
+    )
+    point = measure_operating_point(
+        channel,
+        RATE_TABLE[int(rate_mbps)],
+        int(n_packets),
+        payload=bytes(int(payload_octets)),
+    )
+    return point.prr
+
+
+def measure_cos_point(
+    position: str, snr_db: int, seed: int, n_packets: int
+) -> float:
+    """Closed-loop CoS message accuracy at one integer-dB point.
+
+    This is, line for line, the measurement inside
+    :func:`repro.net.control.measured_cos_delivery_prob` — with the
+    default :class:`SurrogateSpec` the stored curve therefore replays
+    the phy fidelity mode exactly on its own caching grid.
+    """
+    from repro.channel import IndoorChannel
+    from repro.cos import CosLink
+
+    channel = IndoorChannel.position(
+        position, snr_db=float(int(snr_db)), seed=int(seed)
+    )
+    stats = CosLink(channel=channel).run(n_packets=int(n_packets), payload=bytes(256))
+    return float(stats.message_accuracy)
+
+
+def _prr_trial(spec) -> float:
+    """Engine trial: one PRR grid point (module-level: picklable)."""
+    return measure_prr_point(
+        spec["position"],
+        spec["snr_db"],
+        spec["rate_mbps"],
+        spec["n_packets"],
+        spec["payload_octets"],
+        spec["channel_seed"],
+    )
+
+
+def _cos_trial(spec) -> float:
+    """Engine trial: one CoS accuracy grid point (module-level: picklable)."""
+    return measure_cos_point(
+        spec["position"], spec["snr_db"], spec["seed"], spec["n_packets"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# The table
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SurrogateTable:
+    """A measured, monotone-fitted PRR/CoS surrogate of the real PHY."""
+
+    spec: SurrogateSpec
+    spec_hash: str
+    sinr_grid_db: np.ndarray
+    prr_raw: Dict[int, np.ndarray]  # rate Mbps -> raw measured PRR
+    prr_fit: Dict[int, np.ndarray]  # rate Mbps -> isotonic fit
+    cos_grid_db: np.ndarray  # integer dB
+    cos_accuracy: np.ndarray
+    version: int = TABLE_VERSION
+
+    def prr(self, sinr_db: float, rate_mbps: int) -> float:
+        """Monotone-fitted PRR, linearly interpolated, clamped at the ends."""
+        try:
+            curve = self.prr_fit[int(rate_mbps)]
+        except KeyError:
+            raise KeyError(
+                f"no surrogate curve for {rate_mbps} Mbps; "
+                f"known: {sorted(self.prr_fit)}"
+            ) from None
+        return float(np.interp(float(sinr_db), self.sinr_grid_db, curve))
+
+    def cos_delivery_prob(self, sinr_db: float) -> float:
+        """Per-message CoS accuracy at the carrier's SINR.
+
+        Rounds to integer dB and clamps to the measured range — the same
+        key discretisation ``measured_cos_delivery_prob`` caches by, so
+        inside the grid this *is* the phy fidelity mode's value.
+        """
+        key = int(round(float(sinr_db)))
+        lo = int(self.cos_grid_db[0])
+        hi = int(self.cos_grid_db[-1])
+        key = min(max(key, lo), hi)
+        return float(self.cos_accuracy[key - lo])
+
+    def max_fit_error(self) -> float:
+        """Largest |fit - raw| over every rate and grid node."""
+        return max(
+            float(np.max(np.abs(self.prr_fit[r] - self.prr_raw[r])))
+            for r in self.prr_raw
+        )
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": self.version,
+            "spec": self.spec.canonical(),
+            "spec_hash": self.spec_hash,
+            "sinr_grid_db": [float(v) for v in self.sinr_grid_db],
+            "rates": {
+                str(r): {
+                    "prr_raw": [float(v) for v in self.prr_raw[r]],
+                    "prr_fit": [float(v) for v in self.prr_fit[r]],
+                }
+                for r in sorted(self.prr_raw)
+            },
+            "cos_grid_db": [int(v) for v in self.cos_grid_db],
+            "cos_accuracy": [float(v) for v in self.cos_accuracy],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SurrogateTable":
+        version = int(data.get("version", -1))
+        if version != TABLE_VERSION:
+            raise ValueError(
+                f"surrogate table version {version} unsupported "
+                f"(expected {TABLE_VERSION}); rebuild with "
+                "'repro net tables build'"
+            )
+        spec_dict = dict(data["spec"])
+        for key in ("channel_seeds", "rates_mbps"):
+            spec_dict[key] = tuple(spec_dict[key])
+        spec = SurrogateSpec(**spec_dict)
+        stored_hash = str(data["spec_hash"])
+        if stored_hash != spec.spec_hash():
+            raise ValueError(
+                f"surrogate table hash mismatch: stored {stored_hash}, "
+                f"spec hashes to {spec.spec_hash()} — file corrupt or "
+                "hand-edited"
+            )
+        rates = {
+            int(r): entry for r, entry in data["rates"].items()
+        }
+        return cls(
+            spec=spec,
+            spec_hash=stored_hash,
+            sinr_grid_db=np.asarray(data["sinr_grid_db"], dtype=np.float64),
+            prr_raw={
+                r: np.asarray(e["prr_raw"], dtype=np.float64)
+                for r, e in rates.items()
+            },
+            prr_fit={
+                r: np.asarray(e["prr_fit"], dtype=np.float64)
+                for r, e in rates.items()
+            },
+            cos_grid_db=np.asarray(data["cos_grid_db"], dtype=np.intp),
+            cos_accuracy=np.asarray(data["cos_accuracy"], dtype=np.float64),
+            version=version,
+        )
+
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SurrogateTable":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Building
+# ---------------------------------------------------------------------------
+
+
+def build_surrogate_table(
+    spec: Optional[SurrogateSpec] = None,
+    *,
+    workers: Optional[int] = None,
+) -> SurrogateTable:
+    """Sweep the real PHY over the spec's grid and fit the surrogate.
+
+    PRR points run through :func:`repro.engine.run_sweep` (parallel-safe:
+    every point is pure in its params), each probing the channel with the
+    batched receive path; seeds average into one raw curve per rate,
+    which PAVA then makes monotone.  The CoS accuracy curve is measured
+    per integer dB with the phy-fidelity semantics.
+    """
+    from repro.engine import run_sweep
+    from repro.experiments.common import init_phy_worker
+
+    spec = spec or SurrogateSpec()
+    grid = spec.sinr_grid_db()
+
+    params = [
+        {
+            "position": spec.position,
+            "snr_db": snr,
+            "rate_mbps": rate,
+            "n_packets": spec.n_packets,
+            "payload_octets": spec.payload_octets,
+            "channel_seed": seed,
+        }
+        for rate in spec.rates_mbps
+        for snr in grid
+        for seed in spec.channel_seeds
+    ]
+    prrs = run_sweep(
+        params, _prr_trial, seed=0, workers=workers,
+        init=init_phy_worker, label="surrogate.prr",
+    )
+    prrs = np.asarray(prrs, dtype=np.float64).reshape(
+        len(spec.rates_mbps), len(grid), len(spec.channel_seeds)
+    )
+    raw = {
+        rate: prrs[i].mean(axis=1) for i, rate in enumerate(spec.rates_mbps)
+    }
+    fit = {rate: monotone_fit(curve) for rate, curve in raw.items()}
+
+    cos_grid = spec.cos_grid_db()
+    cos_params = [
+        {
+            "position": spec.cos_position,
+            "snr_db": snr,
+            "seed": spec.cos_seed,
+            "n_packets": spec.cos_n_packets,
+        }
+        for snr in cos_grid
+    ]
+    cos_accuracy = run_sweep(
+        cos_params, _cos_trial, seed=0, workers=workers,
+        init=init_phy_worker, label="surrogate.cos",
+    )
+
+    return SurrogateTable(
+        spec=spec,
+        spec_hash=spec.spec_hash(),
+        sinr_grid_db=np.asarray(grid, dtype=np.float64),
+        prr_raw=raw,
+        prr_fit=fit,
+        cos_grid_db=np.asarray(cos_grid, dtype=np.intp),
+        cos_accuracy=np.asarray(cos_accuracy, dtype=np.float64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Default-table resolution
+# ---------------------------------------------------------------------------
+
+
+def default_table_path() -> Path:
+    """The table ``cos_fidelity="surrogate"`` loads: env override or the
+    committed default."""
+    override = os.environ.get(_TABLE_ENV)
+    if override:
+        return Path(override)
+    return _DEFAULT_TABLE
+
+
+def load_default_table() -> SurrogateTable:
+    path = default_table_path()
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no surrogate table at {path}; build one with "
+            f"'repro net tables build' (or point {_TABLE_ENV} at one)"
+        )
+    return SurrogateTable.load(path)

@@ -75,7 +75,13 @@ class ViterbiDecoder:
         Bit-for-bit identical to looping :meth:`decode`; the batch entry
         point amortizes dispatch overhead and lets the numba backend run
         whole equal-length groups inside one compiled loop.
+
+        A single-codeword batch is routed through :meth:`decode` so the
+        ``phy.viterbi`` span (with its ``n_steps``/``backend`` attributes)
+        keeps firing for unbatched packets — trace consumers rely on it.
         """
+        if len(llrs_list) == 1:
+            return [self.decode(llrs_list[0])]
         with span("phy.viterbi.batch") as sp:
             sp.set(n_codewords=len(llrs_list))
             return _kernels.decode_many(llrs_list, self.terminated)

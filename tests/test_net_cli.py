@@ -82,3 +82,32 @@ class TestScenarioFileInRepo:
         spec = ScenarioSpec.load(str(path))
         assert spec.name == "hidden-node"
         assert {n.name for n in spec.nodes} == {"ap", "sta_near", "sta_hidden"}
+
+
+class TestNetTables:
+    def test_inspect_default_table(self, capsys):
+        assert main(["net", "tables", "inspect"]) == 0
+        out = capsys.readouterr().out
+        assert "Surrogate table" in out
+        assert "CoS accuracy" in out
+        for rate in (6, 54):
+            assert f"\n{rate} " in out or out.startswith(f"{rate} ")
+
+    def test_build_quick_then_inspect(self, tmp_path, capsys):
+        path = tmp_path / "quick.json"
+        assert main(["--quiet", "net", "tables", "build", "--quick",
+                     "--out", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["net", "tables", "inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "8 pkts x 1 seed(s)" in out
+
+    def test_inspect_missing_table_errors(self, tmp_path):
+        assert main(["net", "tables", "inspect",
+                     str(tmp_path / "nope.json")]) == 2
+
+    def test_fidelity_override(self, small_scenario_path, capsys):
+        assert main(["net", "run", small_scenario_path,
+                     "--fidelity", "surrogate"]) == 0
+        assert "hidden-node" in capsys.readouterr().out
