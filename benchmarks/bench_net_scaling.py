@@ -50,9 +50,14 @@ NODE_COUNTS = (16, 64, 256, 1024)
 DENSE_MAX_NODES = 256
 
 #: Floor on scheduler throughput at every point.  Interpreted loosely on
-#: purpose — a 2010 laptop clears 10k events/s; a regression that trips
-#: this is structural, not noise.
-MIN_EVENTS_PER_SEC = 5_000.0
+#: purpose: per-event cost grows with N even with culling (the rx fan-out
+#: is bounded, not constant), so the binding point is N = 1024, which
+#: clears ~5k events/s on an idle CI-class runner.  The regression this
+#: gate exists to catch — an accidentally quadratic medium scan — lands
+#: two orders of magnitude lower (dense-exact manages ~900 ev/s at a
+#: quarter of the nodes), so 2k keeps that margin without tripping on
+#: hardware variance.
+MIN_EVENTS_PER_SEC = 2_000.0
 
 #: Floor on the culled/dense events-per-sec ratio at N = DENSE_MAX_NODES.
 #: The measured speedup is typically well above this; the gate only

@@ -40,6 +40,18 @@ Commands
     summarise the measured-PHY surrogate table that
     ``cos_fidelity="surrogate"`` replays; the active default honours
     the ``REPRO_SURROGATE_TABLE`` environment override.
+``engine worker --queue DIR [--drain] [--lease S] [--max-attempts K]``
+    Serve trial chunks from a filesystem work queue (see
+    :mod:`repro.engine.queue`).  Start any number of these — on this
+    host or on others sharing ``DIR`` — against sweeps submitted by
+    :class:`repro.engine.ShardedExecutor`; leases + heartbeats recover
+    chunks from crashed workers and ``--drain`` exits once the queue is
+    empty.
+``engine serve [--host H] [--port P]``
+    Run the sim-as-a-service HTTP front-end
+    (:mod:`repro.engine.service`): ``POST /jobs`` submits ``fig2`` /
+    ``net`` / ``noop`` jobs, ``GET /jobs/<id>[/result]`` polls and
+    fetches, ``GET /metrics`` exports Prometheus text.
 ``obs summarize trace.jsonl``
     Analyse a recorded trace offline: per-stage latency percentiles,
     exchange span coverage, the failure-cause breakdown, and — for
@@ -51,6 +63,12 @@ Commands
 Global flags: ``--log-level debug|info|warning|error`` and ``--quiet``
 control the ``repro.*`` logger hierarchy (diagnostics go to stderr;
 result tables always go to stdout).
+
+Sweep-running commands (``experiments``, ``report``, ``net run``) accept
+``--store [DIR]`` to cache trial results in a content-addressed store
+(re-runs replay completed trials bit-for-bit) and ``--no-store`` to
+force caching off; the ``REPRO_STORE=<dir>`` environment flag is the
+flagless equivalent of ``--store DIR``.  Default: off.
 """
 
 from __future__ import annotations
@@ -82,7 +100,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="print rate tables and channel profiles")
 
+    def add_store_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_mutually_exclusive_group()
+        group.add_argument(
+            "--store", nargs="?", const=".repro-store", default=None,
+            metavar="DIR",
+            help="cache trial results in a content-addressed store at DIR "
+                 "(default: .repro-store); re-runs replay completed trials "
+                 "bit-for-bit.  REPRO_STORE=<dir> is the env equivalent",
+        )
+        group.add_argument(
+            "--no-store", action="store_true",
+            help="disable the trial result store (overrides REPRO_STORE)",
+        )
+
     exp = sub.add_parser("experiments", help="run figure harnesses")
+    add_store_flags(exp)
     exp.add_argument("figures", nargs="*", help="subset, e.g. fig2 fig9 ablations")
     exp.add_argument("--workers", type=int, default=None, metavar="N",
                      help="trial-engine worker processes (0 = serial; "
@@ -143,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the scenario's CoS fidelity "
                               "(surrogate = measured-PHY tables, see "
                               "'repro net tables build')")
+    add_store_flags(net_run)
 
     net_tables = net_sub.add_parser(
         "tables", help="build/inspect measured-PHY surrogate tables"
@@ -203,6 +237,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--workers", type=int, default=None, metavar="N",
                         help="trial-engine worker processes (0 = serial; "
                              "default: REPRO_WORKERS or serial)")
+    add_store_flags(report)
+
+    eng = sub.add_parser(
+        "engine", help="sweep-fabric utilities (work-queue workers, service)"
+    )
+    eng_sub = eng.add_subparsers(dest="engine_command", required=True)
+    worker = eng_sub.add_parser(
+        "worker", help="serve trial chunks from a filesystem work queue"
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="queue root directory (shared with the "
+                             "submitting ShardedExecutor, e.g. over NFS)")
+    worker.add_argument("--name", default=None, metavar="ID",
+                        help="worker id recorded in claims "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--drain", action="store_true",
+                        help="exit once no claimable work remains "
+                             "(default: keep polling for new jobs)")
+    worker.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="idle poll interval in seconds (default: 0.2)")
+    worker.add_argument("--lease", type=float, default=30.0, metavar="S",
+                        help="chunk lease in seconds; a claim older than "
+                             "this with no heartbeat is re-claimed "
+                             "(default: 30)")
+    worker.add_argument("--max-attempts", type=int, default=3, metavar="K",
+                        help="poison a chunk after K expired leases "
+                             "(default: 3)")
+    worker.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                        help="exit after S seconds even if work remains")
+    serve = eng_sub.add_parser(
+        "serve", help="run the sim-as-a-service HTTP front-end"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="TCP port (0 = ephemeral; default: 8737)")
+    serve.add_argument("--max-workers", type=int, default=4, metavar="N",
+                       help="concurrent job threads (default: 4)")
     return parser
 
 
@@ -253,8 +324,28 @@ def _cmd_info() -> int:
     return 0
 
 
+def _apply_store_flags(args) -> None:
+    """Install the process-wide default result store per --store/--no-store.
+
+    Harnesses call the engine with ``store=None`` (defer to the default),
+    so setting the default here threads the store through every sweep the
+    command runs without each harness needing a parameter.
+    """
+    from repro.engine.store import ResultStore, set_default_store
+
+    log = logging.getLogger("repro.cli")
+    if getattr(args, "no_store", False):
+        set_default_store(None)
+    elif getattr(args, "store", None):
+        store = ResultStore(args.store)
+        set_default_store(store)
+        log.info("trial result store: %s", store.root)
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.runner import main as run_experiments
+
+    _apply_store_flags(args)
 
     argv = list(args.figures)
     if args.workers is not None:
@@ -399,6 +490,7 @@ def _cmd_net(args) -> int:
             args.scenario,
         )
         return 2
+    _apply_store_flags(args)
     if args.control is not None:
         spec = spec.with_control(args.control)
     if args.medium is not None:
@@ -529,6 +621,50 @@ def _cmd_link(args) -> int:
     return 0
 
 
+def _cmd_engine(args) -> int:
+    log = logging.getLogger("repro.cli")
+
+    if args.engine_command == "worker":
+        from repro.engine.queue import worker_loop
+
+        try:
+            n = worker_loop(
+                args.queue,
+                worker_id=args.name,
+                poll_s=args.poll,
+                lease_s=args.lease,
+                max_attempts=args.max_attempts,
+                drain=args.drain,
+                max_seconds=args.max_seconds,
+            )
+        except KeyboardInterrupt:  # pragma: no cover — interactive stop
+            log.info("worker interrupted")
+            return 130
+        print(f"processed {n} chunk(s)")
+        return 0
+
+    # serve
+    import asyncio
+
+    from repro.engine.service import FabricService
+
+    service = FabricService(args.host, args.port, max_workers=args.max_workers)
+
+    async def _amain() -> None:
+        await service.start()
+        # Machine-readable line so tests/scripts can find an ephemeral port.
+        print(f"listening on {service.url}", flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:  # pragma: no cover — interactive stop
+        log.info("service interrupted")
+    finally:
+        service.close()
+    return 0
+
+
 def _cmd_obs(args) -> int:
     import repro.obs as obs
 
@@ -575,9 +711,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from repro.analysis.report import write_report
 
+        _apply_store_flags(args)
         path = write_report(args.path, stages=args.stages, workers=args.workers)
         print(f"wrote {path}")
         return 0
+    if args.command == "engine":
+        return _cmd_engine(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -26,7 +26,15 @@ Guarantees (see ``docs/engine.md`` for the full contract):
 * **Errors** — the first failing trial aborts the run with a
   :class:`TrialError` carrying its params and seed;
 * **Reuse** — per-worker ``init`` hook plus :func:`worker_state` for
-  expensive objects (one PHY per process, not one per call).
+  expensive objects (one PHY per process, not one per call);
+* **Resumability** — the content-addressed :class:`ResultStore`
+  (``store=`` argument, ``REPRO_STORE`` environment flag, or the CLI's
+  ``--store``) replays completed trials from disk bit-for-bit so re-runs
+  only execute the delta;
+* **Scale-out** — :class:`ShardedExecutor` routes chunks through a
+  filesystem claim queue (:mod:`repro.engine.queue`) served by local
+  and/or remote ``repro engine worker`` processes, and
+  :mod:`repro.engine.service` fronts the whole engine over HTTP.
 """
 
 from repro.engine.core import (
@@ -38,11 +46,18 @@ from repro.engine.core import (
 from repro.engine.executors import (
     ProcessExecutor,
     SerialExecutor,
+    ShardedExecutor,
     default_workers,
     make_executor,
     resolve_workers,
 )
 from repro.engine.spec import TrialError, TrialSpec, make_specs
+from repro.engine.store import (
+    ResultStore,
+    get_default_store,
+    resolve_store,
+    set_default_store,
+)
 from repro.engine.worker import worker_state
 
 __all__ = [
@@ -55,8 +70,13 @@ __all__ = [
     "run_batched_sweep",
     "SerialExecutor",
     "ProcessExecutor",
+    "ShardedExecutor",
     "make_executor",
     "default_workers",
     "resolve_workers",
     "worker_state",
+    "ResultStore",
+    "get_default_store",
+    "set_default_store",
+    "resolve_store",
 ]

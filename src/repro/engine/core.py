@@ -30,6 +30,7 @@ from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Unio
 
 from repro.engine.executors import make_executor, resolve_workers
 from repro.engine.spec import TrialError, TrialSpec, make_specs
+from repro.engine.store import ResultStore, resolve_store
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import span
 
@@ -54,6 +55,7 @@ def run_trials(
     chunk_size: Optional[int] = None,
     label: str = "trials",
     registry: Optional[MetricsRegistry] = None,
+    store: "ResultStore | bool | None" = None,
 ) -> List[Any]:
     """Execute ``fn`` over ``specs``; return results in spec order.
 
@@ -67,33 +69,76 @@ def run_trials(
     worker process (and once in-process for serial) to populate
     :func:`~repro.engine.worker.worker_state` with reusable objects.
 
+    ``store`` selects the content-addressed result cache
+    (:mod:`repro.engine.store`): ``None`` defers to the default store
+    (off unless ``REPRO_STORE``/the CLI enabled one), ``False`` forces
+    caching off, or pass a :class:`ResultStore`.  Cached trials replay
+    bit-for-bit without executing; only the delta runs.  Trials whose
+    params cannot be hashed deterministically simply always execute.
+
     Raises :class:`~repro.engine.spec.TrialError` on the first failing
     trial, carrying its index, params, seed entropy, and traceback.
     """
     specs = list(specs)
-    if executor is None:
-        executor = make_executor(
-            workers, init=init, init_args=init_args, chunk_size=chunk_size
-        )
     n = len(specs)
     results: List[Any] = [None] * n
     parent_registry = registry if registry is not None else get_registry()
 
+    # Store lookup happens in the submitting process, before dispatch:
+    # hits never reach an executor, so a warm re-run costs I/O only.
+    store_obj = resolve_store(store)
+    pending: List[TrialSpec] = specs
+    key_by_index: dict = {}
+    n_hits = 0
+    if store_obj is not None:
+        pending = []
+        for spec in specs:
+            key = store_obj.key_for(fn, spec)
+            if key is not None:
+                hit, value = store_obj.get(key)
+                if hit:
+                    results[spec.index] = value
+                    n_hits += 1
+                    continue
+                key_by_index[spec.index] = key
+            pending.append(spec)
+        parent_registry.counter(
+            "repro_store_hits_total",
+            help="Trials replayed from the content-addressed result store.",
+        ).inc(n_hits)
+        parent_registry.counter(
+            "repro_store_misses_total",
+            help="Trials executed because the result store had no entry.",
+        ).inc(len(pending))
+        if n_hits:
+            log.debug("%s: %d/%d trials served from store %s",
+                      label, n_hits, n, store_obj.root)
+
+    if executor is None:
+        executor = make_executor(
+            workers, init=init, init_args=init_args, chunk_size=chunk_size
+        )
+
     t0 = time.perf_counter()
-    done = 0
+    done = n_hits
     last_progress = t0
-    with span("engine.run", label=label, trials=n, workers=executor.workers):
-        for chunk in executor.run(fn, specs):
-            if chunk.metrics_snapshot:
-                parent_registry.merge(chunk.metrics_snapshot)
-            if chunk.error is not None:
-                raise TrialError(**chunk.error)
-            for index, result in zip(chunk.indices, chunk.results):
-                results[index] = result
-            done += chunk.n_done
-            last_progress = _log_progress(
-                label, done, n, t0, last_progress, executor.workers
-            )
+    with span("engine.run", label=label, trials=n, workers=executor.workers,
+              store_hits=n_hits):
+        if pending:
+            for chunk in executor.run(fn, pending):
+                if chunk.metrics_snapshot:
+                    parent_registry.merge(chunk.metrics_snapshot)
+                if chunk.error is not None:
+                    raise TrialError(**chunk.error)
+                for index, result in zip(chunk.indices, chunk.results):
+                    results[index] = result
+                    key = key_by_index.get(index)
+                    if key is not None:
+                        store_obj.put(key, result)
+                done += chunk.n_done
+                last_progress = _log_progress(
+                    label, done, n, t0, last_progress, executor.workers
+                )
     elapsed = time.perf_counter() - t0
     log.debug(
         "%s: %d trials done in %.2fs (%s)",
@@ -114,6 +159,7 @@ def run_sweep(
     chunk_size: Optional[int] = None,
     label: str = "sweep",
     registry: Optional[MetricsRegistry] = None,
+    store: "ResultStore | bool | None" = None,
 ) -> List[Any]:
     """``make_specs`` + :func:`run_trials` in one call (the common case)."""
     return run_trials(
@@ -125,6 +171,7 @@ def run_sweep(
         chunk_size=chunk_size,
         label=label,
         registry=registry,
+        store=store,
     )
 
 
@@ -158,6 +205,7 @@ def run_batched_trials(
     chunk_size: Optional[int] = None,
     label: str = "trials",
     registry: Optional[MetricsRegistry] = None,
+    store: "ResultStore | bool | None" = None,
 ) -> List[Any]:
     """:func:`run_trials` for batch-aware trial functions.
 
@@ -179,10 +227,44 @@ def run_batched_trials(
     the group sequence, with the member specs in its params).
     """
     specs = list(specs)
+    flat: List[Any] = [None] * len(specs)
+    position = {id(spec): i for i, spec in enumerate(specs)}
+    parent_registry = registry if registry is not None else get_registry()
+
+    # Caching happens at *member*-spec granularity, keyed by the batch
+    # function: grouping is a scheduling detail, and a correct batch_fn
+    # produces per-spec results independent of how specs were grouped —
+    # so cached members simply drop out of the groups and only the
+    # misses are dispatched (a different, but equally valid, grouping).
+    store_obj = resolve_store(store)
+    pending: List[TrialSpec] = specs
+    store_key: dict = {}
+    if store_obj is not None:
+        pending = []
+        n_hits = 0
+        for spec in specs:
+            key = store_obj.key_for(batch_fn, spec)
+            if key is not None:
+                hit, value = store_obj.get(key)
+                if hit:
+                    flat[position[id(spec)]] = value
+                    n_hits += 1
+                    continue
+                store_key[id(spec)] = key
+            pending.append(spec)
+        parent_registry.counter(
+            "repro_store_hits_total",
+            help="Trials replayed from the content-addressed result store.",
+        ).inc(n_hits)
+        parent_registry.counter(
+            "repro_store_misses_total",
+            help="Trials executed because the result store had no entry.",
+        ).inc(len(pending))
+
     key_fn = batch_key if batch_key is not None else _default_batch_key
     groups: List[List[TrialSpec]] = []
     keys: List[Any] = []
-    for spec in specs:
+    for spec in pending:
         key = key_fn(spec)
         if groups and keys[-1] == key and len(groups[-1]) < max(int(max_batch), 1):
             groups[-1].append(spec)
@@ -203,13 +285,16 @@ def run_batched_trials(
         chunk_size=chunk_size,
         label=label,
         registry=registry,
+        store=False,  # group specs are scheduling artefacts, never cached
     )
 
-    flat: List[Any] = [None] * len(specs)
-    position = {id(spec): i for i, spec in enumerate(specs)}
     for members, results in zip(groups, grouped):
         for spec, result in zip(members, results):
             flat[position[id(spec)]] = result
+            if store_obj is not None:
+                key = store_key.get(id(spec))
+                if key is not None:
+                    store_obj.put(key, result)
     return flat
 
 
@@ -226,6 +311,7 @@ def run_batched_sweep(
     chunk_size: Optional[int] = None,
     label: str = "sweep",
     registry: Optional[MetricsRegistry] = None,
+    store: "ResultStore | bool | None" = None,
 ) -> List[Any]:
     """``make_specs`` + :func:`run_batched_trials` in one call."""
     return run_batched_trials(
@@ -239,6 +325,7 @@ def run_batched_sweep(
         chunk_size=chunk_size,
         label=label,
         registry=registry,
+        store=store,
     )
 
 

@@ -1,0 +1,451 @@
+"""Sim-as-a-service: a thin asyncio HTTP front-end over the sweep engine.
+
+Stdlib only — ``asyncio.start_server`` plus a deliberately minimal
+HTTP/1.1 request parser (the service speaks exactly the subset its
+endpoints need; every response closes the connection).  Heavy work runs
+on a thread pool so the event loop stays responsive while sweeps grind;
+the sweeps themselves go through :mod:`repro.engine`, so they pick up
+the result store (``REPRO_STORE``) and worker flags like any other
+caller.
+
+Endpoints
+---------
+=======================  ====================================================
+``GET  /healthz``        liveness + job-state counts
+``POST /jobs``           submit ``{"kind": ..., "params": {...}}`` → 202
+                         ``{"job_id": ...}``
+``GET  /jobs``           every job's summary (newest first)
+``GET  /jobs/<id>``      one job's summary (state, timings, latency)
+``GET  /jobs/<id>/result``  the result once ``state == "done"`` (409 before,
+                         500 with the error text for failed jobs)
+``GET  /metrics``        Prometheus text exposition of the live registry
+``GET  /metrics.json``   the same registry as JSON
+=======================  ====================================================
+
+Job kinds are module-level functions in :data:`JOB_KINDS` — each takes a
+params dict and returns a JSON-serialisable result.  Shipped kinds:
+
+* ``fig2`` — the SNR-gap sweep (grid/realizations/workers overridable);
+* ``net`` — a ``repro.net`` scenario sweep by built-in name, summarised;
+* ``noop`` — an engine sweep of spin trials, for load tests.
+
+Every job is timed submit→finish into the
+``repro_service_job_seconds{kind=...}`` histogram and traced under a
+``service.job`` span, which is where the load-test harness
+(``benchmarks/bench_engine_fabric.py``) reads its p50/p95 job latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import logging
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import span
+
+__all__ = ["JOB_KINDS", "Job", "FabricService", "ServiceHandle",
+           "start_in_thread"]
+
+log = logging.getLogger("repro.engine.service")
+
+_MAX_BODY_BYTES = 1 << 20
+#: Buckets tuned for job latency: 1 ms .. 60 s.
+_JOB_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+# ---------------------------------------------------------------------------
+# Job kinds
+# ---------------------------------------------------------------------------
+
+def _noop_trial(spec) -> float:
+    """A spin trial: deterministic output, tunable wall cost."""
+    rng = spec.rng()
+    deadline = time.perf_counter() + spec.get("spin_ms", 0.0) / 1e3
+    while time.perf_counter() < deadline:
+        pass
+    return float(rng.normal())
+
+
+def _job_noop(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Engine sweep of ``n`` spin trials (``spin_ms`` each) — load-test fuel."""
+    from repro import engine
+
+    n = int(params.get("n", 16))
+    spin_ms = float(params.get("spin_ms", 0.0))
+    seed = int(params.get("seed", 0))
+    values = engine.run_sweep(
+        [{"spin_ms": spin_ms} for _ in range(n)], _noop_trial,
+        seed=seed, workers=int(params.get("workers", 0)), label="service-noop",
+    )
+    return {"n": n, "mean": sum(values) / max(n, 1)}
+
+
+def _job_fig2(params: Dict[str, Any]) -> Dict[str, Any]:
+    """The fig. 2 SNR-gap sweep as a service job."""
+    import numpy as np
+
+    from repro.experiments import fig2
+
+    grid = np.arange(
+        float(params.get("snr_start_db", 5.0)),
+        float(params.get("snr_stop_db", 25.5)),
+        float(params.get("snr_step_db", 1.0)),
+    )
+    result = fig2.run(
+        snr_grid=grid,
+        realizations=int(params.get("realizations", 3)),
+        workers=int(params.get("workers", 0)),
+    )
+    return {
+        "points": [
+            {
+                "measured_snr_db": p.measured_snr_db,
+                "rate_mbps": p.rate_mbps,
+                "min_required_snr_db": p.min_required_snr_db,
+                "actual_snr_db": p.actual_snr_db,
+                "gap_db": p.gap_db,
+            }
+            for p in result.points
+        ],
+        "gap_always_positive": result.gap_always_positive(),
+    }
+
+
+def _job_net(params: Dict[str, Any]) -> Dict[str, Any]:
+    """A ``repro.net`` scenario sweep by built-in name, summarised."""
+    from repro.net import builtin_scenario, run_scenario_sweep, summarize_results
+
+    name = str(params.get("scenario", "hidden-node"))
+    spec = builtin_scenario(name)
+    if params.get("control") is not None:
+        spec = spec.with_control(str(params["control"]))
+    results = run_scenario_sweep(
+        spec,
+        n_trials=int(params.get("trials", 1)),
+        seed=int(params.get("seed", 0)),
+        workers=int(params.get("workers", 0)),
+    )
+    return summarize_results(results)
+
+
+JOB_KINDS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "noop": _job_noop,
+    "fig2": _job_fig2,
+    "net": _job_net,
+}
+
+
+# ---------------------------------------------------------------------------
+# Job bookkeeping
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Job:
+    """One submitted job's lifecycle record."""
+
+    id: str
+    kind: str
+    params: Dict[str, Any]
+    state: str = "queued"  # queued | running | done | failed
+    submitted_ts: float = field(default_factory=time.time)
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    result: Any = None
+    error: Optional[str] = None
+
+    def summary(self) -> Dict[str, Any]:
+        latency = (self.finished_ts - self.submitted_ts
+                   if self.finished_ts is not None else None)
+        return {
+            "job_id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "submitted_ts": self.submitted_ts,
+            "started_ts": self.started_ts,
+            "finished_ts": self.finished_ts,
+            "latency_s": latency,
+            "error": self.error,
+        }
+
+
+class FabricService:
+    """The asyncio HTTP service; one instance owns its jobs and pool."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_workers: int = 4,
+        registry: Optional[MetricsRegistry] = None,
+        kinds: Optional[Dict[str, Callable[[Dict[str, Any]], Any]]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.kinds = dict(kinds) if kinds is not None else dict(JOB_KINDS)
+        self._registry = registry
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service-job"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("fabric service listening on %s", self.url)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- job execution -------------------------------------------------
+
+    def submit(self, kind: str, params: Dict[str, Any]) -> Job:
+        """Register a job and queue it on the worker pool."""
+        if kind not in self.kinds:
+            raise KeyError(kind)
+        job = Job(id=uuid.uuid4().hex[:12], kind=kind, params=dict(params))
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        self._pool.submit(self._run_job, job)
+        return job
+
+    def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        job.started_ts = time.time()
+        try:
+            with span("service.job", kind=job.kind, job_id=job.id):
+                job.result = self.kinds[job.kind](job.params)
+            job.state = "done"
+        except Exception as exc:  # noqa: BLE001 — reported via the API
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            log.warning("job %s (%s) failed: %s", job.id, job.kind, job.error)
+        finally:
+            job.finished_ts = time.time()
+            registry = self.registry
+            registry.counter(
+                "repro_service_jobs_total",
+                help="Jobs by kind and terminal state.",
+            ).labels(kind=job.kind, state=job.state).inc()
+            registry.histogram(
+                "repro_service_job_seconds",
+                help="Submit-to-finish job latency.",
+                buckets=_JOB_BUCKETS,
+            ).labels(kind=job.kind).observe(job.finished_ts - job.submitted_ts)
+
+    def _job(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def _job_summaries(self) -> List[Dict[str, Any]]:
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        return [j.summary() for j in
+                sorted(jobs, key=lambda j: j.submitted_ts, reverse=True)]
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body, content_type = await self._handle_request(reader)
+        except Exception:  # noqa: BLE001 — a broken request must not kill the loop
+            log.debug("malformed request", exc_info=True)
+            status, body, content_type = 400, {"error": "malformed request"}, None
+        try:
+            payload, ctype = _encode_body(body, content_type)
+            writer.write(
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n".encode() + payload
+            )
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Any, Optional[str]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}, None
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            return 400, {"error": f"bad request line {request_line!r}"}, None
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length:
+            if length > _MAX_BODY_BYTES:
+                return 413, {"error": "body too large"}, None
+            body = await reader.readexactly(length)
+        self.registry.counter(
+            "repro_service_requests_total",
+            help="HTTP requests by method and route.",
+        ).labels(method=method, route=_route_label(target)).inc()
+        return self._route(method, target.split("?", 1)[0], body)
+
+    def _route(self, method: str, path: str,
+               body: bytes) -> Tuple[int, Any, Optional[str]]:
+        if method == "GET" and path == "/healthz":
+            states: Dict[str, int] = {}
+            for j in self._job_summaries():
+                states[j["state"]] = states.get(j["state"], 0) + 1
+            return 200, {"status": "ok", "jobs": states,
+                         "kinds": sorted(self.kinds)}, None
+        if method == "GET" and path == "/metrics":
+            return 200, self.registry.to_prometheus(), "text/plain; version=0.0.4"
+        if method == "GET" and path == "/metrics.json":
+            return 200, json.loads(self.registry.to_json()), None
+        if path == "/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return 400, {"error": "body must be JSON"}, None
+            kind = payload.get("kind")
+            if not isinstance(kind, str) or kind not in self.kinds:
+                return 400, {"error": f"unknown job kind {kind!r}",
+                             "kinds": sorted(self.kinds)}, None
+            params = payload.get("params") or {}
+            if not isinstance(params, dict):
+                return 400, {"error": "params must be an object"}, None
+            job = self.submit(kind, params)
+            return 202, {"job_id": job.id, "state": job.state,
+                         "status_url": f"/jobs/{job.id}",
+                         "result_url": f"/jobs/{job.id}/result"}, None
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": self._job_summaries()}, None
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            job = self._job(job_id)
+            if job is None:
+                return 404, {"error": f"no job {job_id!r}"}, None
+            if tail == "" and method == "GET":
+                return 200, job.summary(), None
+            if tail == "result" and method == "GET":
+                if job.state == "done":
+                    return 200, {"job_id": job.id, "kind": job.kind,
+                                 "result": job.result}, None
+                if job.state == "failed":
+                    return 500, {"job_id": job.id, "error": job.error}, None
+                return 409, {"job_id": job.id, "state": job.state,
+                             "error": "job not finished"}, None
+        return 404, {"error": f"no route {method} {path}"}, None
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+def _encode_body(body: Any, content_type: Optional[str]) -> Tuple[bytes, str]:
+    if isinstance(body, str):
+        return body.encode(), content_type or "text/plain; charset=utf-8"
+    return (json.dumps(body, indent=2).encode() + b"\n",
+            content_type or "application/json")
+
+
+def _route_label(target: str) -> str:
+    """Collapse job ids out of paths so the route label stays low-cardinality."""
+    path = target.split("?", 1)[0]
+    if path.startswith("/jobs/"):
+        tail = path[len("/jobs/"):]
+        return "/jobs/{id}/result" if tail.endswith("/result") else "/jobs/{id}"
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted service (tests, benchmarks, notebook use)
+# ---------------------------------------------------------------------------
+
+class ServiceHandle:
+    """A running service on a background thread; ``stop()`` tears it down."""
+
+    def __init__(self, service: FabricService, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def url(self) -> str:
+        return self.service.url
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        def _shutdown() -> None:
+            self.service.close()
+            self._loop.stop()
+
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(_shutdown)
+        self._thread.join(timeout=timeout_s)
+
+
+def start_in_thread(host: str = "127.0.0.1", port: int = 0,
+                    **kwargs: Any) -> ServiceHandle:
+    """Run a :class:`FabricService` on a daemon thread; returns its handle."""
+    service = FabricService(host, port, **kwargs)
+    started = threading.Event()
+    loop = asyncio.new_event_loop()
+
+    def _main() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=_main, daemon=True,
+                              name="repro-fabric-service")
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise RuntimeError("fabric service failed to start within 10 s")
+    return ServiceHandle(service, loop, thread)

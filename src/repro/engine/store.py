@@ -1,0 +1,412 @@
+"""Content-addressed trial result store — resumable, shareable sweeps.
+
+Because a trial's behaviour (randomness included) is a pure function of
+its :class:`~repro.engine.spec.TrialSpec` — the engine's determinism
+contract — a trial *result* is a pure function of ``(trial function,
+params, seed)``.  That makes results content-addressable: hash the spec,
+key the result by the hash, and a re-run of a half-finished or superset
+sweep replays every completed trial from disk bit-for-bit while only the
+delta executes.
+
+Key derivation (:func:`spec_key`)
+---------------------------------
+``sha256`` over a canonical JSON rendering of
+
+* the trial function's dotted name (``module.qualname``) — two harnesses
+  with identical params never collide;
+* the spec's ``params`` via :func:`canonical` (order-insensitive dicts,
+  dataclasses by field, bytes/ndarrays by content);
+* the spec's seed entropy (root entropy + spawn key);
+* the store *salt* — see below.
+
+Objects that cannot be canonicalised deterministically (default
+``object`` reprs would embed memory addresses) raise
+:class:`UncacheableSpec`; the engine treats such specs as permanent
+misses rather than poisoning the cache with unstable keys.
+
+The invalidation salt
+---------------------
+Cached results are only valid for the code that produced them.  The salt
+(:func:`store_salt`) folds in everything that can change a result
+without changing the spec:
+
+* a store schema version (bump to flush every cache);
+* the package version (``repro.__version__``);
+* the active compute-kernel backend name — backends are bit-equivalent
+  by test, but the salt makes a backend regression visible as a cache
+  miss instead of a silently stale hit;
+* the measured-PHY surrogate table's content hash (when the default
+  table file exists) — rebuilding the table must invalidate every
+  result that may have consulted it.
+
+On-disk layout
+--------------
+::
+
+    <root>/
+      store-meta.json        # human-readable salt + schema (diagnostic)
+      objects/<k[:2]>/<k>.pkl
+
+Entries are pickles written to a temp file in the destination directory
+and ``os.replace``-d into place, so concurrent writers (process pools,
+sharded workers on a shared filesystem, parallel CI jobs) can race
+freely: the rename is atomic and every writer produces identical bytes
+for identical keys.  Corrupt or truncated entries read as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.utils.env import env_str
+
+__all__ = [
+    "STORE_SCHEMA",
+    "STORE_ENV",
+    "UncacheableSpec",
+    "canonical",
+    "store_salt",
+    "spec_key",
+    "ResultStore",
+    "get_default_store",
+    "set_default_store",
+    "resolve_store",
+]
+
+log = logging.getLogger("repro.engine.store")
+
+#: Bump to invalidate every existing store entry (layout/semantics change).
+STORE_SCHEMA = 1
+
+#: Environment flag: a directory path enables the default store.
+STORE_ENV = "REPRO_STORE"
+
+
+class UncacheableSpec(ValueError):
+    """Raised when a spec's params cannot be canonicalised deterministically."""
+
+
+# ---------------------------------------------------------------------------
+# Canonicalisation
+# ---------------------------------------------------------------------------
+
+def canonical(obj: Any) -> Any:
+    """Render ``obj`` as a deterministic JSON-able structure.
+
+    Dicts sort by canonicalised key; dataclasses serialise as
+    ``{type, fields}``; bytes and numpy arrays by content; sets sorted.
+    Raises :class:`UncacheableSpec` for anything whose rendering would
+    not be stable across processes (e.g. default ``object`` reprs).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {"__float__": repr(obj)}
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": hashlib.sha256(bytes(obj)).hexdigest()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        rendered = sorted(
+            json.dumps(canonical(v), sort_keys=True, separators=(",", ":"))
+            for v in obj
+        )
+        return {"__set__": rendered}
+    if isinstance(obj, dict):
+        pairs = sorted(
+            (json.dumps(canonical(k), sort_keys=True, separators=(",", ":")),
+             canonical(v))
+            for k, v in obj.items()
+        )
+        return {"__map__": pairs}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    # numpy without importing it eagerly at module import time is not a
+    # concern here (the engine already depends on numpy), but the check
+    # must not break on builds where a param is a numpy scalar/array.
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.ndarray):
+            return {
+                "__ndarray__": hashlib.sha256(
+                    np.ascontiguousarray(obj).tobytes()
+                ).hexdigest(),
+                "dtype": str(obj.dtype),
+                "shape": list(obj.shape),
+            }
+        if isinstance(obj, np.generic):
+            return canonical(obj.item())
+    except ImportError:  # pragma: no cover — numpy is a hard dependency
+        pass
+    if isinstance(obj, Path):
+        return {"__path__": str(obj)}
+    raise UncacheableSpec(
+        f"cannot build a deterministic cache key for {type(obj).__module__}."
+        f"{type(obj).__qualname__} (value {obj!r:.120})"
+    )
+
+
+def _canonical_text(obj: Any) -> str:
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Salt
+# ---------------------------------------------------------------------------
+
+def _surrogate_table_fingerprint() -> Optional[str]:
+    """Content hash of the active surrogate table file (None when absent)."""
+    try:
+        from repro.phy.surrogate import default_table_path
+
+        path = default_table_path()
+        if not path.exists():
+            return None
+        return hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+    except Exception:  # pragma: no cover — defensive; salt must not crash
+        return None
+
+
+def store_salt() -> Dict[str, Any]:
+    """Everything that invalidates cached results without changing a spec."""
+    import repro
+    from repro.kernels.dispatch import backend_name
+
+    return {
+        "schema": STORE_SCHEMA,
+        "code": repro.__version__,
+        "kernel_backend": backend_name(),
+        "surrogate_table": _surrogate_table_fingerprint(),
+    }
+
+
+def _fn_token(fn: Callable) -> str:
+    """Stable identity of a trial function: its dotted module path."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname or "<lambda>" in qualname:
+        raise UncacheableSpec(
+            f"trial function {fn!r} is not a module-level callable; "
+            "results cannot be cached under a stable key"
+        )
+    return f"{module}.{qualname}"
+
+
+def spec_key(fn: Callable, spec, salt: Optional[Dict[str, Any]] = None) -> str:
+    """The content address of ``fn(spec)``: a 64-hex-char sha256 digest.
+
+    Raises :class:`UncacheableSpec` when ``fn`` or ``spec.params`` cannot
+    be rendered deterministically.  The spec's ``index`` is deliberately
+    **not** part of the key — position in the sweep does not affect the
+    result, only the seed does, so a superset sweep re-hits the subset's
+    entries.
+    """
+    payload = {
+        "fn": _fn_token(fn),
+        "params": canonical(spec.params),
+        "seed": canonical(spec.seed_entropy),
+        "salt": canonical(salt if salt is not None else store_salt()),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+class ResultStore:
+    """Spec-hash-keyed result store with atomic, concurrent-safe writes.
+
+    ``hits`` / ``misses`` / ``writes`` count this instance's traffic;
+    the engine additionally mirrors them into the metrics registry
+    (``repro_store_hits_total`` etc.) so sharded/pool runs aggregate.
+    """
+
+    def __init__(self, root: Union[str, Path], *,
+                 salt: Optional[Dict[str, Any]] = None) -> None:
+        self.root = Path(root)
+        self.salt = dict(salt) if salt is not None else store_salt()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._write_meta()
+
+    def _write_meta(self) -> None:
+        meta = self.root / "store-meta.json"
+        if meta.exists():
+            return
+        try:
+            _atomic_write_bytes(
+                meta,
+                (json.dumps({"schema": STORE_SCHEMA, "salt": canonical(self.salt)},
+                            indent=2, sort_keys=True) + "\n").encode(),
+            )
+        except OSError:  # pragma: no cover — diagnostic file only
+            pass
+
+    # -- keys ----------------------------------------------------------
+
+    def key_for(self, fn: Callable, spec) -> Optional[str]:
+        """The entry key for ``fn(spec)``; ``None`` when uncacheable."""
+        try:
+            return spec_key(fn, spec, salt=self.salt)
+        except UncacheableSpec as exc:
+            log.debug("uncacheable spec %s: %s", getattr(spec, "index", "?"), exc)
+            return None
+
+    def _path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.pkl"
+
+    # -- access --------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; corrupt/truncated entries read as misses."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            log.warning("corrupt store entry %s — treating as a miss", path)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Persist ``value`` under ``key`` (atomic rename; False on failure).
+
+        Unpicklable values are skipped with a debug log — caching is an
+        optimisation, never a correctness requirement.
+        """
+        path = self._path(key)
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            log.debug("result for %s is not picklable; not cached", key)
+            return False
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write_bytes(path, payload)
+        except OSError as exc:  # disk full, permissions, ...
+            log.warning("could not write store entry %s: %s", path, exc)
+            return False
+        self.writes += 1
+        return True
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._objects.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging nicety
+        return (f"ResultStore({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses}, writes={self.writes})")
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write-temp + atomic rename in the destination directory.
+
+    The temp suffix is deliberately NOT the target's: a process killed
+    mid-write must not leave debris that entry globs (``*.pkl``) or
+    :meth:`ResultStore.__len__` would count as a real entry.
+    """
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-",
+                               suffix=".part")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Default-store resolution (CLI / env plumbing)
+# ---------------------------------------------------------------------------
+
+_default_store: Optional[ResultStore] = None
+_default_explicit = False
+_env_store: Optional[ResultStore] = None
+_env_path: Optional[str] = None
+
+
+def set_default_store(store: Optional[ResultStore]) -> Optional[ResultStore]:
+    """Install the process-wide default store (None disables caching).
+
+    An explicit setting — including ``None`` — overrides the
+    ``REPRO_STORE`` environment flag until the next call.
+    """
+    global _default_store, _default_explicit
+    previous = get_default_store()
+    _default_store = store
+    _default_explicit = True
+    return previous
+
+
+def get_default_store() -> Optional[ResultStore]:
+    """The default store: whatever :func:`set_default_store` installed,
+    else a store at ``$REPRO_STORE`` when that flag names a directory.
+
+    The environment flag is re-read on every call (tests and subprocess
+    workers change it); the resulting store instance is cached per path
+    so hit/miss counters accumulate across sweeps.
+    """
+    global _env_store, _env_path
+    if _default_explicit:
+        return _default_store
+    path = env_str(STORE_ENV)
+    if not path:
+        return None
+    if _env_store is None or _env_path != path:
+        _env_store = ResultStore(path)
+        _env_path = path
+    return _env_store
+
+
+def resolve_store(store: Union[ResultStore, bool, None]) -> Optional[ResultStore]:
+    """Engine-side resolution of a ``store=`` argument.
+
+    ``None`` defers to the default store (off unless ``REPRO_STORE`` or
+    the CLI enabled it); ``False`` forces caching off; ``True`` requires
+    a configured default; a :class:`ResultStore` is used as-is.
+    """
+    if store is None:
+        return get_default_store()
+    if store is False:
+        return None
+    if store is True:
+        configured = get_default_store()
+        if configured is None:
+            raise ValueError(
+                "store=True but no default store is configured; "
+                f"set {STORE_ENV}=<dir> or pass a ResultStore"
+            )
+        return configured
+    return store

@@ -272,38 +272,93 @@ class MetricsRegistry:
         process boundaries as pickles with no shared state.
 
         Raises :class:`ValueError` on kind or histogram-bucket mismatch
-        so silent double-registration bugs cannot corrupt counts.
+        so silent double-registration bugs cannot corrupt counts — and
+        validates the *whole* snapshot before touching this registry, so
+        a rejected merge leaves it untouched rather than half-applied
+        (chunked executors retry/refold snapshots; partial application
+        would double-count).  Empty snapshots and empty registries merge
+        as no-ops; a family with no series still registers (kind and
+        help are preserved).  Duplicate label sets within one snapshot
+        apply in order: counters/histograms accumulate, gauges keep the
+        last value.
         """
         snapshot = other.snapshot() if isinstance(other, MetricsRegistry) else other
+
+        # Phase 1 — parse and validate against current state, mutating
+        # nothing (not even implicit family/child creation).
+        plan: List[tuple] = []
         for name in sorted(snapshot):
             data = snapshot[name]
-            kind = data["kind"]
+            kind = data.get("kind")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+            existing = self._families.get(name)
+            if existing is not None and existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"not {kind}"
+                )
             help_ = data.get("help", "")
-            for entry in data.get("series", []):
-                labels = {str(k): str(v) for k, v in entry.get("labels", {}).items()}
+            series = data.get("series", [])
+            fam_buckets: Optional[Tuple[float, ...]] = None
+            if kind == "histogram":
+                if existing is not None:
+                    fam_buckets = tuple(existing._buckets or LATENCY_BUCKETS_S)
+                elif series:
+                    fam_buckets = tuple(float(b) for b in series[0]["buckets"])
+            entries: List[tuple] = []
+            for entry in series:
+                labels = {str(k): str(v)
+                          for k, v in entry.get("labels", {}).items()}
                 if kind == "counter":
-                    self.counter(name, help_).labels(**labels).inc(float(entry["value"]))
+                    value = float(entry["value"])
+                    if value < 0:
+                        raise ValueError(
+                            f"cannot merge counter {name!r}: negative "
+                            f"increment {value}"
+                        )
+                    entries.append((labels, value))
                 elif kind == "gauge":
-                    self.gauge(name, help_).labels(**labels).set(float(entry["value"]))
-                elif kind == "histogram":
-                    fam = self.histogram(name, help_, buckets=entry["buckets"])
-                    child = fam.labels(**labels)
-                    if tuple(child.buckets) != tuple(entry["buckets"]):
-                        raise ValueError(
-                            f"cannot merge histogram {name!r}: bucket bounds differ "
-                            f"({child.buckets} vs {tuple(entry['buckets'])})"
-                        )
-                    incoming = entry["bucket_counts"]
-                    if len(incoming) != len(child.bucket_counts):
-                        raise ValueError(
-                            f"cannot merge histogram {name!r}: bucket count mismatch"
-                        )
-                    child.sum += float(entry["sum"])
-                    child.count += int(entry["count"])
-                    for i, c in enumerate(incoming):
-                        child.bucket_counts[i] += int(c)
+                    entries.append((labels, float(entry["value"])))
                 else:
-                    raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+                    bounds = tuple(float(b) for b in entry["buckets"])
+                    if bounds != fam_buckets:
+                        raise ValueError(
+                            f"cannot merge histogram {name!r}: bucket bounds "
+                            f"differ ({fam_buckets} vs {bounds})"
+                        )
+                    counts = [int(c) for c in entry["bucket_counts"]]
+                    if len(counts) != len(bounds) + 1:
+                        raise ValueError(
+                            f"cannot merge histogram {name!r}: bucket count "
+                            "mismatch"
+                        )
+                    entries.append(
+                        (labels,
+                         (float(entry["sum"]), int(entry["count"]), counts))
+                    )
+            plan.append((name, kind, help_, fam_buckets, entries))
+
+        # Phase 2 — apply; validated input cannot raise below.
+        for name, kind, help_, fam_buckets, entries in plan:
+            if kind == "counter":
+                fam = self.counter(name, help_)
+                for labels, value in entries:
+                    fam.labels(**labels).inc(value)
+            elif kind == "gauge":
+                fam = self.gauge(name, help_)
+                for labels, value in entries:
+                    fam.labels(**labels).set(value)
+            else:
+                fam = self.histogram(
+                    name, help_, buckets=fam_buckets or LATENCY_BUCKETS_S
+                )
+                for labels, (total, count, counts) in entries:
+                    child = fam.labels(**labels)
+                    child.sum += total
+                    child.count += count
+                    for i, c in enumerate(counts):
+                        child.bucket_counts[i] += c
 
     def snapshot(self) -> Dict[str, dict]:
         """Plain-dict snapshot: ``{name: {kind, help, series: [...]}}``."""

@@ -1,0 +1,313 @@
+"""Tests for :mod:`repro.engine.store` — the content-addressed trial cache.
+
+The determinism property under test: a store-cached replay of a sweep is
+bit-for-bit identical to a fresh run, across ``run_sweep`` and
+``run_batched_sweep``, because trial results are pure functions of
+``(trial fn, params, seed)`` and the key hashes exactly those.
+"""
+
+import dataclasses
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.engine import store as store_mod
+from repro.engine.spec import make_specs
+from repro.engine.store import (
+    ResultStore,
+    UncacheableSpec,
+    canonical,
+    resolve_store,
+    set_default_store,
+    spec_key,
+)
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    """Neither REPRO_STORE nor a prior set_default_store may leak in."""
+    monkeypatch.delenv(store_mod.STORE_ENV, raising=False)
+    previous_explicit = store_mod._default_explicit
+    previous_store = store_mod._default_store
+    store_mod._default_explicit = False
+    store_mod._default_store = None
+    old_registry = set_registry(MetricsRegistry())
+    yield
+    store_mod._default_explicit = previous_explicit
+    store_mod._default_store = previous_store
+    set_registry(old_registry)
+
+
+# ---------------------------------------------------------------------------
+# Module-level trial functions (stable dotted names for cache keys).
+# ---------------------------------------------------------------------------
+
+def _draw_trial(spec):
+    rng = spec.rng()
+    return (spec["x"], float(rng.normal()), rng.integers(0, 1 << 30).item())
+
+
+def _batched_draw(specs):
+    return [_draw_trial(s) for s in specs]
+
+
+def _object_param_trial(spec):
+    return spec["x"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Config:
+    snr_db: float
+    payload: bytes
+
+
+# ---------------------------------------------------------------------------
+# Canonicalisation
+# ---------------------------------------------------------------------------
+
+class TestCanonical:
+    def test_dict_key_order_is_irrelevant(self):
+        a = canonical({"b": 1, "a": 2})
+        b = canonical({"a": 2, "b": 1})
+        assert a == b
+
+    def test_scalars_and_containers_round_trip_to_json(self):
+        obj = {"f": 0.1, "i": 3, "s": "x", "t": (1, 2), "n": None,
+               "set": {3, 1, 2}, "b": b"\x00\xff"}
+        text = json.dumps(canonical(obj), sort_keys=True)
+        assert text == json.dumps(canonical(dict(obj)), sort_keys=True)
+
+    def test_float_precision_survives(self):
+        assert canonical(0.1) == canonical(0.1 + 1e-17 * 0)  # same value
+        assert canonical(1.0) != canonical(1.0 + 1e-15)
+
+    def test_ndarray_by_content(self):
+        a = canonical(np.arange(4, dtype=np.float64))
+        b = canonical(np.arange(4, dtype=np.float64))
+        c = canonical(np.arange(4, dtype=np.float32))
+        assert a == b
+        assert a != c  # dtype is part of the rendering
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert canonical(np.int64(5)) == canonical(5)
+
+    def test_dataclass_by_type_and_fields(self):
+        a = canonical(_Config(snr_db=10.0, payload=b"hi"))
+        b = canonical(_Config(snr_db=10.0, payload=b"hi"))
+        c = canonical(_Config(snr_db=11.0, payload=b"hi"))
+        assert a == b
+        assert a != c
+
+    def test_arbitrary_objects_are_uncacheable(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(UncacheableSpec):
+            canonical(Opaque())
+
+
+# ---------------------------------------------------------------------------
+# Key derivation
+# ---------------------------------------------------------------------------
+
+class TestSpecKey:
+    def test_index_does_not_affect_key(self):
+        salt = {"schema": 1}
+        sub = make_specs([{"x": 5}], seed=0)[0]
+        # The same params at a different position in a superset sweep:
+        sup = make_specs([{"x": 5}, {"x": 6}], seed=0)[0]
+        assert spec_key(_draw_trial, sub, salt) == spec_key(_draw_trial, sup, salt)
+
+    def test_seed_params_fn_and_salt_all_matter(self):
+        salt = {"schema": 1}
+        base = spec_key(_draw_trial, make_specs([{"x": 5}], seed=0)[0], salt)
+        assert spec_key(_draw_trial, make_specs([{"x": 5}], seed=1)[0],
+                        salt) != base
+        assert spec_key(_draw_trial, make_specs([{"x": 6}], seed=0)[0],
+                        salt) != base
+        assert spec_key(_object_param_trial, make_specs([{"x": 5}], seed=0)[0],
+                        salt) != base
+        assert spec_key(_draw_trial, make_specs([{"x": 5}], seed=0)[0],
+                        {"schema": 2}) != base
+
+    def test_lambdas_are_uncacheable(self):
+        spec = make_specs([{"x": 5}], seed=0)[0]
+        with pytest.raises(UncacheableSpec):
+            spec_key(lambda s: 0, spec, {"schema": 1})
+
+
+# ---------------------------------------------------------------------------
+# The store itself
+# ---------------------------------------------------------------------------
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        assert store.get(key) == (False, None)
+        assert store.put(key, {"value": 42})
+        assert store.get(key) == (True, {"value": 42})
+        assert len(store) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" + "0" * 62
+        store.put(key, [1, 2, 3])
+        path = store._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = store.get(key)
+        assert hit is False
+
+    def test_unpicklable_value_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.put("ef" + "0" * 62, lambda: None) is False
+        assert len(store) == 0
+
+    def test_meta_file_written(self, tmp_path):
+        ResultStore(tmp_path)
+        meta = json.loads((tmp_path / "store-meta.json").read_text())
+        assert meta["schema"] == store_mod.STORE_SCHEMA
+
+
+class TestResolveStore:
+    def test_false_disables_none_defers_instance_passes(self, tmp_path):
+        assert resolve_store(False) is None
+        assert resolve_store(None) is None  # no default configured
+        store = ResultStore(tmp_path)
+        assert resolve_store(store) is store
+
+    def test_true_requires_a_configured_default(self, tmp_path):
+        with pytest.raises(ValueError, match="REPRO_STORE"):
+            resolve_store(True)
+        store = ResultStore(tmp_path)
+        set_default_store(store)
+        assert resolve_store(True) is store
+
+    def test_env_flag_enables_the_default_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store_mod.STORE_ENV, str(tmp_path / "cache"))
+        store = resolve_store(None)
+        assert store is not None
+        assert store.root == tmp_path / "cache"
+        # Explicit None (the CLI's --no-store) beats the env flag.
+        set_default_store(None)
+        assert resolve_store(None) is None
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: cached replay == fresh run, bit for bit
+# ---------------------------------------------------------------------------
+
+PARAMS = [{"x": i} for i in range(9)]
+
+
+class TestSweepReplay:
+    def test_run_sweep_cold_then_warm_is_bit_for_bit(self, tmp_path):
+        fresh = engine.run_sweep(PARAMS, _draw_trial, seed=11)
+        store = ResultStore(tmp_path)
+        cold = engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store)
+        warm = engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store)
+        assert pickle.dumps(cold) == pickle.dumps(fresh)
+        assert pickle.dumps(warm) == pickle.dumps(fresh)
+        assert store.writes == len(PARAMS)
+        assert store.hits == len(PARAMS)
+
+    def test_store_counters_reach_the_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path)
+        engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store,
+                         registry=registry)
+        engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store,
+                         registry=registry)
+        assert registry.counter("repro_store_hits_total").value == len(PARAMS)
+        assert registry.counter("repro_store_misses_total").value == len(PARAMS)
+
+    def test_superset_sweep_re_hits_subset_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine.run_sweep(PARAMS[:4], _draw_trial, seed=11, store=store)
+        sup = engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store)
+        # Seed spawning is positional, so the first 4 specs are identical
+        # and must replay rather than re-execute.
+        assert store.hits == 4
+        assert sup == engine.run_sweep(PARAMS, _draw_trial, seed=11)
+
+    def test_partial_store_executes_only_the_delta(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store)
+        # Drop a few entries to simulate an interrupted earlier run.
+        objects = sorted(store.root.glob("objects/*/*.pkl"))
+        for path in objects[:3]:
+            path.unlink()
+        store.hits = store.writes = 0
+        again = engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store)
+        assert again == engine.run_sweep(PARAMS, _draw_trial, seed=11)
+        assert store.hits == len(PARAMS) - 3
+        assert store.writes == 3
+
+    def test_workers_pool_with_store_matches_serial(self, tmp_path):
+        fresh = engine.run_sweep(PARAMS, _draw_trial, seed=11)
+        store = ResultStore(tmp_path)
+        pooled = engine.run_sweep(PARAMS, _draw_trial, seed=11, workers=2,
+                                  store=store)
+        warm = engine.run_sweep(PARAMS, _draw_trial, seed=11, workers=2,
+                                store=store)
+        assert pooled == fresh
+        assert warm == fresh
+        assert store.hits == len(PARAMS)
+
+    def test_uncacheable_params_still_run(self, tmp_path):
+        class Opaque:
+            pass
+
+        store = ResultStore(tmp_path)
+        params = [{"x": 1, "obj": Opaque()}]
+        out = engine.run_sweep(params, _object_param_trial, seed=0, store=store)
+        assert out == [1]
+        assert store.writes == 0
+        # And a re-run executes again (permanent miss, not a crash).
+        out2 = engine.run_sweep(params, _object_param_trial, seed=0, store=store)
+        assert out2 == [1]
+
+    def test_salt_change_invalidates(self, tmp_path):
+        a = ResultStore(tmp_path, salt={"schema": 1})
+        engine.run_sweep(PARAMS[:3], _draw_trial, seed=11, store=a)
+        b = ResultStore(tmp_path, salt={"schema": 2})
+        engine.run_sweep(PARAMS[:3], _draw_trial, seed=11, store=b)
+        assert b.hits == 0
+        assert b.writes == 3
+
+
+class TestBatchedSweepReplay:
+    def test_batched_cold_then_warm_is_bit_for_bit(self, tmp_path):
+        fresh = engine.run_batched_sweep(PARAMS, _batched_draw, seed=11)
+        store = ResultStore(tmp_path)
+        cold = engine.run_batched_sweep(PARAMS, _batched_draw, seed=11,
+                                        store=store)
+        warm = engine.run_batched_sweep(PARAMS, _batched_draw, seed=11,
+                                        store=store)
+        assert pickle.dumps(cold) == pickle.dumps(fresh)
+        assert pickle.dumps(warm) == pickle.dumps(fresh)
+        assert store.hits == len(PARAMS)
+
+    def test_batched_and_unbatched_share_no_entries(self, tmp_path):
+        # Different trial callables → different keys, by design: the
+        # batch fn is part of the result's identity.
+        store = ResultStore(tmp_path)
+        engine.run_sweep(PARAMS, _draw_trial, seed=11, store=store)
+        engine.run_batched_sweep(PARAMS, _batched_draw, seed=11, store=store)
+        assert store.hits == 0
+        assert store.writes == 2 * len(PARAMS)
+
+    def test_batched_partial_store_mixes_hits_and_fresh_members(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine.run_batched_sweep(PARAMS[:5], _batched_draw, seed=11,
+                                 store=store)
+        store.hits = 0
+        out = engine.run_batched_sweep(PARAMS, _batched_draw, seed=11,
+                                       store=store)
+        assert out == engine.run_batched_sweep(PARAMS, _batched_draw, seed=11)
+        assert store.hits == 5

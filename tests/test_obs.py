@@ -140,6 +140,109 @@ class TestExport:
             set_registry(old)
 
 
+class TestMerge:
+    def test_counters_add_gauges_overwrite_histograms_accumulate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total").inc(2)
+        b.counter("c_total").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(7.0)
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        a.merge(b)
+        assert a.counter("c_total").value == 5.0
+        assert a.gauge("g").value == 7.0
+        h = a.histogram("h", buckets=(1.0, 2.0)).labels()
+        assert h.count == 2 and h.sum == 2.0
+        assert h.bucket_counts == [1, 1, 0]
+
+    def test_empty_registries_merge_as_noops(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.merge(b)
+        assert a.snapshot() == {}
+        a.counter("c_total").inc()
+        a.merge(MetricsRegistry())
+        a.merge({})
+        assert a.counter("c_total").value == 1.0
+
+    def test_family_with_no_series_still_registers(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("later_total", help="declared but never incremented")
+        a.merge(b)
+        # Kind is now pinned: re-registering as a gauge must fail.
+        with pytest.raises(ValueError, match="already registered"):
+            a.gauge("later_total")
+
+    def test_kind_mismatch_rejected_and_parent_untouched(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(4)
+        b.gauge("x").set(1.0)
+        with pytest.raises(ValueError, match="already registered"):
+            a.merge(b)
+        assert a.counter("x").value == 4.0
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b)
+        # Parent histogram unchanged by the rejected merge.
+        assert a.histogram("h", buckets=(1.0, 2.0)).labels().count == 1
+
+    def test_failed_merge_is_atomic_across_families(self):
+        # The failing family sorts *after* a mergeable one; validation
+        # must reject the whole snapshot before applying anything.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("a_total").inc(1)
+        a.histogram("z_h", buckets=(1.0,)).observe(0.5)
+        b.counter("a_total").inc(10)
+        b.histogram("z_h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        assert a.counter("a_total").value == 1.0
+        # And no spurious labelled children appeared on the histogram.
+        assert a.histogram("z_h", buckets=(1.0,)).labels().count == 1
+
+    def test_duplicate_label_sets_apply_in_order(self):
+        reg = MetricsRegistry()
+        snapshot = {
+            "dup_total": {"kind": "counter", "help": "", "series": [
+                {"labels": {"k": "v"}, "value": 2.0},
+                {"labels": {"k": "v"}, "value": 3.0},
+            ]},
+            "dup_gauge": {"kind": "gauge", "help": "", "series": [
+                {"labels": {}, "value": 1.0},
+                {"labels": {}, "value": 9.0},
+            ]},
+        }
+        reg.merge(snapshot)
+        assert reg.counter("dup_total").labels(k="v").value == 5.0
+        assert reg.gauge("dup_gauge").value == 9.0
+
+    def test_negative_counter_increment_rejected_atomically(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(2)
+        with pytest.raises(ValueError, match="negative"):
+            reg.merge({"c_total": {"kind": "counter", "series": [
+                {"labels": {}, "value": -1.0}]}})
+        assert reg.counter("c_total").value == 2.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricsRegistry().merge({"x": {"kind": "summary", "series": []}})
+
+    def test_merge_accepts_snapshot_dicts_across_pickle(self):
+        import pickle
+
+        b = MetricsRegistry()
+        b.counter("c_total").labels(stage="rx").inc(4)
+        snap = pickle.loads(pickle.dumps(b.snapshot()))
+        a = MetricsRegistry()
+        a.merge(snap)
+        assert a.counter("c_total").labels(stage="rx").value == 4.0
+
+
 # ---------------------------------------------------------------------------
 # Tracing
 # ---------------------------------------------------------------------------
