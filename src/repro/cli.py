@@ -34,9 +34,20 @@ Commands
     ``--workers N`` results are bit-for-bit identical.
     ``--fidelity table|phy|surrogate`` overrides how CoS message
     delivery is decided (analytic operating points, live PHY runs, or
-    the prebuilt measured-PHY surrogate table).
+    the prebuilt measured-PHY surrogate table).  ``--controller NAME``
+    attaches a pluggable rate controller (:mod:`repro.ratectl`;
+    ``REPRO_CONTROLLER`` is the env fallback, ``net list`` prints the
+    set) and ``--error-model sigmoid|surrogate`` switches data-frame
+    fates between the analytic sigmoid and the measured-PHY PRR
+    curves.
+``net compare [--scenario S ...] [--controllers a,b] [--trials N]``
+    Run the rate-controller matrix over one or more scenarios (default:
+    all registered controllers on ``hidden-node``, surrogate fates) and
+    print one comparison table per scenario; ``--json`` exports the
+    report(s).
 ``net tables build|inspect``
-    Build (``--quick`` for a smoke-test grid, ``--out`` to redirect) or
+    Build (``--quick`` for a smoke-test grid, ``--out`` to redirect,
+    ``--profile A|B|C`` for the paper's measurement positions) or
     summarise the measured-PHY surrogate table that
     ``cos_fidelity="surrogate"`` replays; the active default honours
     the ``REPRO_SURROGATE_TABLE`` environment override.
@@ -176,7 +187,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the scenario's CoS fidelity "
                               "(surrogate = measured-PHY tables, see "
                               "'repro net tables build')")
+    net_run.add_argument("--controller", default=None, metavar="NAME",
+                         help="rate controller (repro.ratectl), e.g. "
+                              "minstrel, samplerate, snr-threshold; default: "
+                              "REPRO_CONTROLLER or the scenario's legacy "
+                              "staircase")
+    net_run.add_argument("--error-model", choices=["sigmoid", "surrogate"],
+                         default=None, dest="error_model",
+                         help="override how data-frame fates are drawn "
+                              "(surrogate = measured-PHY PRR curves)")
     add_store_flags(net_run)
+
+    net_cmp = net_sub.add_parser(
+        "compare", help="run the rate-controller matrix over a scenario"
+    )
+    net_cmp.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario file or built-in name; repeatable (default: "
+             "hidden-node)",
+    )
+    net_cmp.add_argument("--controllers", default=None, metavar="CSV",
+                         help="comma-separated controller names (default: "
+                              "the full matrix)")
+    net_cmp.add_argument("--trials", type=int, default=3, metavar="N",
+                         help="independent trials per cell (default: 3)")
+    net_cmp.add_argument("--seed", type=int, default=0)
+    net_cmp.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="trial-engine worker processes (0 = serial; "
+                              "default: REPRO_WORKERS or serial)")
+    net_cmp.add_argument("--error-model", choices=["sigmoid", "surrogate"],
+                         default="surrogate", dest="error_model",
+                         help="frame-fate error model for every cell "
+                              "(default: surrogate — measured-PHY curves)")
+    net_cmp.add_argument("--json", default=None, metavar="PATH",
+                         help="write the comparison report as JSON "
+                              "('-' for stdout)")
+    add_store_flags(net_cmp)
 
     net_tables = net_sub.add_parser(
         "tables", help="build/inspect measured-PHY surrogate tables"
@@ -191,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     t_build.add_argument("--quick", action="store_true",
                          help="coarse grid, few packets — a smoke-test "
                               "build, not a committable table")
+    t_build.add_argument("--profile", choices=["A", "B", "C"], default=None,
+                         help="channel severity profile to sweep (default: "
+                              "A — the committed default table; B/C write "
+                              "profile-suffixed tables next to it)")
     t_build.add_argument("--workers", type=int, default=None, metavar="N",
                          help="trial-engine worker processes (0 = serial; "
                               "default: REPRO_WORKERS or serial)")
@@ -362,21 +412,24 @@ def _cmd_experiments(args) -> int:
 
 
 def _cmd_net_tables(args, log) -> int:
+    import dataclasses
+
     import numpy as np
 
     from repro.experiments.common import print_table
     from repro.phy import surrogate
 
     if args.tables_command == "build":
-        spec = surrogate.SurrogateSpec()
+        profile = args.profile or "A"
+        spec = surrogate.profile_spec(profile)
         if args.quick:
             # A sanity-check build: tiny probes on a coarse grid.  The
             # spec hash keeps it from masquerading as the default table.
-            spec = surrogate.SurrogateSpec(
-                channel_seeds=(0,), n_packets=8, sinr_step_db=8.0,
+            spec = dataclasses.replace(
+                spec, channel_seeds=(0,), n_packets=8, sinr_step_db=8.0,
                 cos_n_packets=4,
             )
-        out = args.out or surrogate.default_table_path()
+        out = args.out or surrogate.profile_table_path(profile)
         table = surrogate.build_surrogate_table(spec, workers=args.workers)
         table.save(out)
         log.info(
@@ -430,6 +483,82 @@ def _cmd_net_tables(args, log) -> int:
     return 0
 
 
+def _cmd_net_compare(args, log) -> int:
+    import json
+    import os
+
+    from repro.experiments.common import print_table
+    from repro.net import BUILTIN_SCENARIOS, ScenarioSpec, builtin_scenario
+    from repro.ratectl import CONTROLLER_MATRIX, compare_controllers, \
+        comparison_rows
+    from repro.utils.env import env_int
+
+    if args.trials < 1:
+        log.error("--trials must be at least 1 (got %d)", args.trials)
+        return 2
+    controllers = tuple(CONTROLLER_MATRIX)
+    if args.controllers:
+        controllers = tuple(
+            c.strip() for c in args.controllers.split(",") if c.strip()
+        )
+    specs = []
+    for name in (args.scenario or ["hidden-node"]):
+        if os.path.exists(name):
+            try:
+                specs.append(ScenarioSpec.load(name))
+            except (ValueError, TypeError, KeyError,
+                    json.JSONDecodeError) as exc:
+                log.error("invalid scenario file %s: %s", name, exc)
+                return 2
+        elif name in BUILTIN_SCENARIOS:
+            specs.append(builtin_scenario(name))
+        else:
+            log.error(
+                "%r is neither a scenario file nor a built-in "
+                "(see 'repro net list')", name,
+            )
+            return 2
+    _apply_store_flags(args)
+    workers = args.workers
+    if workers is None:
+        workers = env_int("REPRO_WORKERS", 0)
+        if workers:
+            log.info("using REPRO_WORKERS=%d worker processes", workers)
+
+    reports = []
+    for spec in specs:
+        try:
+            report = compare_controllers(
+                spec, controllers=controllers, n_trials=args.trials,
+                seed=args.seed, workers=workers,
+                error_model=args.error_model,
+            )
+        except ValueError as exc:
+            log.error("%s", exc)
+            return 2
+        reports.append(report)
+        print_table(
+            ["controller", "transport", "goodput (Mbps)", "fairness",
+             "retries", "drops", "ctrl gen", "ctrl del", "ctrl air %"],
+            comparison_rows(report),
+            title=(
+                f"Rate-controller matrix on {report['scenario']} "
+                f"[{report['error_model']} fates, {report['n_trials']} "
+                f"trial(s), seed {report['seed']}]"
+            ),
+        )
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else reports
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            log.info("comparison written to %s", args.json)
+    return 0
+
+
 def _cmd_net(args) -> int:
     import json
     import os
@@ -444,11 +573,13 @@ def _cmd_net(args) -> int:
         summarize_results,
     )
     from repro.net.traffic import mean_rate_pps
-    from repro.utils.env import env_int
+    from repro.utils.env import env_int, env_str
 
     log = logging.getLogger("repro.cli")
 
     if args.net_command == "list":
+        from repro.ratectl import available_controllers
+
         rows = []
         for name, factory in sorted(BUILTIN_SCENARIOS.items()):
             spec = factory()
@@ -461,14 +592,21 @@ def _cmd_net(args) -> int:
                 len(spec.nodes),
                 len(spec.bsses) or "-",
                 traffic,
+                spec.controller or "-",
                 (factory.__doc__ or "").strip().splitlines()[0],
             ))
         print_table(
-            ["scenario", "nodes", "bsses", "traffic", "description"],
+            ["scenario", "nodes", "bsses", "traffic", "controller",
+             "description"],
             rows,
             title="Built-in repro.net scenarios",
         )
+        print("rate controllers (--controller / REPRO_CONTROLLER): "
+              + ", ".join(available_controllers()))
         return 0
+
+    if args.net_command == "compare":
+        return _cmd_net_compare(args, log)
 
     if args.net_command == "tables":
         return _cmd_net_tables(args, log)
@@ -497,6 +635,26 @@ def _cmd_net(args) -> int:
         spec = spec.with_medium(args.medium)
     if args.fidelity is not None:
         spec = spec.with_fidelity(args.fidelity)
+    # --controller falls back to the REPRO_CONTROLLER environment flag;
+    # reject unknown names here so the error names the available set
+    # before any sweep starts.
+    controller = args.controller
+    if controller is None:
+        controller = env_str("REPRO_CONTROLLER")
+        if controller:
+            log.info("using REPRO_CONTROLLER=%s", controller)
+    if controller:
+        from repro.ratectl import available_controllers
+
+        if controller not in available_controllers():
+            log.error(
+                "unknown rate controller %r; available: %s",
+                controller, ", ".join(available_controllers()),
+            )
+            return 2
+        spec = spec.with_controller(controller)
+    if args.error_model is not None:
+        spec = spec.with_error_model(args.error_model)
 
     # --workers falls back to the REPRO_WORKERS environment flag (the
     # same resolution the engine applies; made explicit here so the CLI
@@ -537,7 +695,9 @@ def _cmd_net(args) -> int:
         ],
         title=(
             f"Scenario {summary['scenario']} [{summary['control']} control, "
-            f"{summary['n_trials']} trial(s)] — aggregate "
+            + (f"{summary['controller']} controller, "
+               if summary.get("controller") else "")
+            + f"{summary['n_trials']} trial(s)] — aggregate "
             f"{summary['aggregate_goodput_mbps']:.3f} Mbps, fairness "
             f"{summary['fairness']:.3f}, collisions {summary['collisions']:.1f}, "
             f"ctrl airtime {summary['control_airtime_fraction'] * 100:.2f} %"

@@ -39,6 +39,7 @@ from repro.net.topology import GridIndex, RadioSpec, Topology, Waypoint
 from repro.net.sinr import (
     ReceptionModel,
     SigmoidErrorModel,
+    SinrModel,
     cos_delivery_prob_for,
     sinr_db,
 )
@@ -48,6 +49,7 @@ from repro.net.control import ControlMessage, ControlPlane, ControlRouter
 from repro.net.bss import BssRuntime
 from repro.net.traffic import TRAFFIC_MODELS, arrival_times
 from repro.net.scenario import (
+    ERROR_MODELS,
     BssSpec,
     FlowSpec,
     InterfererSpec,
@@ -62,6 +64,7 @@ from repro.net.scenarios import (
     builtin_scenario,
     campus_roaming,
     contention,
+    cross_cell,
     enterprise_grid,
     hidden_node,
 )
@@ -82,6 +85,7 @@ __all__ = [
     "Waypoint",
     "ReceptionModel",
     "SigmoidErrorModel",
+    "SinrModel",
     "cos_delivery_prob_for",
     "sinr_db",
     "MEDIUM_MODES",
@@ -102,6 +106,7 @@ __all__ = [
     "BssSpec",
     "TrafficSpec",
     "ScenarioSpec",
+    "ERROR_MODELS",
     "EventProfiler",
     "NetLens",
     "BUILTIN_SCENARIOS",
@@ -110,6 +115,7 @@ __all__ = [
     "contention",
     "enterprise_grid",
     "campus_roaming",
+    "cross_cell",
     "NetResult",
     "NetSimulator",
     "NodeStats",

@@ -2,8 +2,9 @@
 
 Every successfully delivered **data** frame triggers one feedback
 message at the receiver: the SINR it measured, owed back to the sender
-so its stair-case rate adaptation (:class:`repro.rateadapt.RateAdapter`)
-can track the link.  The two delivery mechanisms are the heart of the
+so its stair-case rate adaptation (:class:`repro.ratectl.RateAdapter` —
+or whichever :class:`repro.ratectl.RateController` the scenario plugs
+in) can track the link.  The two delivery mechanisms are the heart of the
 paper's comparison:
 
 * ``explicit`` — the feedback becomes a real MAC frame (14 octets at the
@@ -40,14 +41,22 @@ import numpy as np
 from repro.mac.overhead import BASE_RATE_MBPS
 from repro.net.medium import Transmission
 from repro.net.sinr import cos_delivery_prob_for
-from repro.rateadapt import RateAdapter
+from repro.obs.metrics import get_registry
+from repro.ratectl import RateAdapter, RateController
 
 __all__ = [
     "ControlMessage",
     "ControlPlane",
     "ControlRouter",
     "measured_cos_delivery_prob",
+    "OVERHEAR_FLOOR_DB",
 ]
+
+#: Minimum SINR at which silence-level energy detection still works when
+#: the data payload does not decode (Tag-Spotting: control reaches beyond
+#: the data-communication range).  Matches the bottom of the measured
+#: CoS-accuracy grid (:class:`repro.phy.surrogate.SurrogateSpec`).
+OVERHEAR_FLOOR_DB = -2.0
 
 _PHY_PROB_CACHE: Dict[int, float] = {}
 
@@ -99,6 +108,8 @@ class ControlPlane:
         cos_fidelity: str = "table",
         max_embed_per_frame: int = 4,
         lens=None,
+        controller: Optional[RateController] = None,
+        overhear: bool = False,
     ) -> None:
         if mode not in ("explicit", "cos"):
             raise ValueError(f"unknown control mode {mode!r}")
@@ -114,11 +125,24 @@ class ControlPlane:
         self.cos_fidelity = cos_fidelity
         self.max_embed_per_frame = max_embed_per_frame
         self.lens = lens  # optional repro.net.lens.NetLens (None = free)
+        #: Pluggable rate policy (repro.ratectl).  ``None`` keeps the
+        #: legacy inline staircase — bit-for-bit the pre-ratectl plane.
+        self.controller = controller
+        #: Tag-Spotting extension: attempt silence-level control decode /
+        #: feedback on *failed* data receptions above OVERHEAR_FLOOR_DB.
+        self.overhear = overhear
 
         self._macs: Dict[str, object] = {}
         self._rates: Dict[Tuple[str, str], int] = {}
         self._pending: Dict[Tuple[str, str], List[ControlMessage]] = {}
         self._next_id = 0
+        self._last_rate: Dict[Tuple[str, str], int] = {}
+        self._rate_counter = None
+        if controller is not None:
+            self._rate_counter = get_registry().counter(
+                "repro_ratectl_rate_selected_total",
+                help="Rate-controller selections, by rate and controller.",
+            )
 
     def bind(self, macs: Dict[str, object]) -> None:
         """Late-bound MAC directory (the simulator wires both ways)."""
@@ -128,15 +152,44 @@ class ControlPlane:
     # Rate state (what the feedback is *for*)
     # ------------------------------------------------------------------
 
-    def rate_for(self, src: str, dst: str) -> int:
+    def rate_for(self, src: str, dst: str, retries: int = 0,
+                 now: float = 0.0) -> int:
         """Current data rate of flow ``src -> dst`` (Mbps).
 
         Fixed-rate scenarios pin it; adaptive flows start at the base
-        rate and climb as feedback arrives.
+        rate and climb as feedback arrives.  With a pluggable controller
+        attached the decision is delegated per transmission attempt
+        (``retries`` lets samplers walk their retry chains), tallied in
+        ``repro_ratectl_rate_selected_total`` and — on changes — traced
+        as ``rate_selected`` lens events.
         """
         if self.fixed_rate_mbps is not None:
             return self.fixed_rate_mbps
-        return self._rates.get((src, dst), BASE_RATE_MBPS)
+        if self.controller is None:
+            return self._rates.get((src, dst), BASE_RATE_MBPS)
+        rate = int(self.controller.select_rate(src, dst, retries=retries))
+        self._rate_counter.labels(
+            rate=rate, controller=self.controller.name
+        ).inc()
+        if self.lens is not None and self._last_rate.get((src, dst)) != rate:
+            self._last_rate[(src, dst)] = rate
+            self.lens.on_rate_selected(src, dst, rate,
+                                       self.controller.name, now)
+        return rate
+
+    def on_tx_result(self, frame, ok: bool, now: float) -> None:
+        """A data TX attempt completed (ACKed, or the ACK timed out).
+
+        The frame-fate feed of the loss-driven controllers; no-op on the
+        legacy (controller-less) plane and for non-data frames.
+        """
+        if self.controller is None or frame.kind != "data" \
+                or frame.rate_mbps is None:
+            return
+        self.controller.on_tx_result(
+            frame.src, frame.dst, frame.rate_mbps, ok,
+            frame.retries, frame.payload_octets,
+        )
 
     # ------------------------------------------------------------------
     # Feedback transport
@@ -168,6 +221,30 @@ class ControlPlane:
         elif tx.kind == "control" and frame is not None and frame.msg is not None:
             self._deliver(frame.msg, now)
 
+    def on_frame_undecoded(self, tx: Transmission, sinr_db: float,
+                           now: float) -> None:
+        """A data frame failed to decode at its destination.
+
+        Nothing happens unless ``overhear`` is enabled (the legacy
+        behaviour, preserved bit-for-bit).  With it on — the
+        Tag-Spotting regime — the silence-level control channel outlives
+        the data payload: embedded CoS messages still decode with the
+        carrier-SINR accuracy, and the receiver still generates SINR
+        feedback (energy measurement needs no payload).  This is what
+        lets two cells beyond each other's data range keep exchanging
+        control state over CoS while explicit control frames — data
+        frames themselves — die with the payload.
+        """
+        if not self.overhear or tx.kind != "data":
+            return
+        if sinr_db < OVERHEAR_FLOOR_DB:
+            return
+        frame = tx.frame
+        if self.mode == "cos" and frame is not None and frame.cos_msgs:
+            self._decode_embedded(frame, sinr_db, now)
+        self._generate_feedback(src=tx.dst, dst=tx.src,
+                                sinr_db=sinr_db, now=now)
+
     def on_frame_acked(self, frame, now: float) -> None:
         """Sender-side completion hook (currently only for accounting)."""
         # Explicit control delivery is recorded at *reception*; the ACK
@@ -180,6 +257,8 @@ class ControlPlane:
 
     def _generate_feedback(self, src: str, dst: str, sinr_db: float,
                            now: float) -> None:
+        if self.controller is not None and not self.controller.uses_feedback:
+            return  # loss-driven controller: no control traffic at all
         msg = ControlMessage(
             msg_id=self._next_id, src=src, dst=dst,
             sinr_db=float(sinr_db), created_us=now,
@@ -227,8 +306,13 @@ class ControlPlane:
         msg.delivered_us = now
         # The consumer keys its stair-case adaptation off the reported
         # SINR — the SiNE lesson: with a CSMA MAC and hidden nodes, SNR
-        # alone would systematically overshoot.
-        self._rates[(msg.dst, msg.src)] = self.adapter.select(msg.sinr_db).mbps
+        # alone would systematically overshoot.  ``(msg.dst, msg.src)``
+        # is the *data* flow the feedback is about (consumer -> owner).
+        if self.controller is not None:
+            self.controller.on_feedback(msg.dst, msg.src, msg.sinr_db)
+        else:
+            self._rates[(msg.dst, msg.src)] = \
+                self.adapter.select(msg.sinr_db).mbps
         self.collector.on_control_delivered(msg, now)
         if self.lens is not None:
             self.lens.on_control_delivered(msg, self.mode, now)
@@ -253,9 +337,10 @@ class ControlRouter:
       default plane, which is also what single-BSS scenarios use
       directly, without a router.
 
-    The interface is the exact five methods :class:`~repro.net.mac
+    The interface is exactly the methods :class:`~repro.net.mac
     .NodeMac` and the simulator call on a plane, so the MAC stays
-    ignorant of whether it talks to one plane or many.
+    ignorant of whether it talks to one plane or many.  Controllers are
+    per plane — each BSS adapts with independent per-flow state.
     """
 
     def __init__(self, planes: Dict[str, ControlPlane],
@@ -281,8 +366,10 @@ class ControlRouter:
 
     # -- the ControlPlane interface ------------------------------------
 
-    def rate_for(self, src: str, dst: str) -> int:
-        return self._plane_for(src, dst).rate_for(src, dst)
+    def rate_for(self, src: str, dst: str, retries: int = 0,
+                 now: float = 0.0) -> int:
+        return self._plane_for(src, dst).rate_for(src, dst,
+                                                  retries=retries, now=now)
 
     def attach(self, frame) -> None:
         self._plane_for(frame.src, frame.dst).attach(frame)
@@ -291,8 +378,15 @@ class ControlRouter:
                           now: float) -> None:
         self._plane_for(tx.src, tx.dst).on_frame_received(tx, sinr_db, now)
 
+    def on_frame_undecoded(self, tx: Transmission, sinr_db: float,
+                           now: float) -> None:
+        self._plane_for(tx.src, tx.dst).on_frame_undecoded(tx, sinr_db, now)
+
     def on_frame_acked(self, frame, now: float) -> None:
         self._plane_for(frame.src, frame.dst).on_frame_acked(frame, now)
+
+    def on_tx_result(self, frame, ok: bool, now: float) -> None:
+        self._plane_for(frame.src, frame.dst).on_tx_result(frame, ok, now)
 
     def bind(self, macs: Dict[str, object]) -> None:
         for plane in self.planes.values():

@@ -29,7 +29,7 @@ Three instruments, independently switchable:
 * **Event trace** (``trace=True``) — schema-versioned ``"net"`` records
   (``tx_start`` / ``tx_end`` / ``drop`` / ``deliver`` /
   ``control_generated`` / ``control_piggyback`` / ``control_delivered`` /
-  ``assoc``)
+  ``rate_selected`` / ``assoc``)
   carrying simulation time (``t_us``) and, when ``wall_clock=True``,
   wall time (``wall_ts``).  Records are kept on :attr:`NetLens.events`
   (sim-deterministic: byte-identical across executors once sorted by
@@ -80,6 +80,7 @@ NET_EVENT_NAMES = (
     "control_generated",
     "control_piggyback",
     "control_delivered",
+    "rate_selected",
     "assoc",
 )
 
@@ -354,6 +355,16 @@ class NetLens:
                 "event": "control_generated", "t_us": now_us, "src": msg.src,
                 "dst": msg.dst, "transport": transport,
                 "sinr_db": float(msg.sinr_db),
+            })
+
+    def on_rate_selected(self, src: str, dst: str, rate_mbps: int,
+                         controller: str, now_us: float) -> None:
+        """A rate controller changed a flow's rate (emitted on change only)."""
+        if self.trace:
+            self._emit({
+                "event": "rate_selected", "t_us": now_us, "src": src,
+                "dst": dst, "rate_mbps": int(rate_mbps),
+                "controller": controller,
             })
 
     def on_control_delivered(self, msg, transport: str, now_us: float) -> None:

@@ -65,6 +65,7 @@ class NetFrame:
     retries: int = 0
     msg: object = None  # ControlMessage for explicit control frames
     cos_msgs: Tuple = ()  # CoS messages riding this frame's silences
+    rate_mbps: Optional[int] = None  # rate of the latest TX attempt
 
     @property
     def payload_bits(self) -> int:
@@ -185,11 +186,15 @@ class NodeMac:
     def _transmit_head(self) -> None:
         frame = self.queue[0]
         if frame.kind == "data":
-            rate = self.control_plane.rate_for(frame.src, frame.dst)
+            rate = self.control_plane.rate_for(
+                frame.src, frame.dst, retries=frame.retries,
+                now=self.scheduler.now_us,
+            )
             duration = frame_airtime_us(frame.payload_octets, RATE_TABLE[rate])
         else:  # control/beacon frame: base rate, like 802.11 management
             rate = BASE_RATE_MBPS
             duration = frame_airtime_us(frame.payload_octets, RATE_TABLE[rate])
+        frame.rate_mbps = rate
         self.control_plane.attach(frame)
         tx = Transmission(
             src=self.name,
@@ -224,6 +229,9 @@ class NodeMac:
         tx = self._awaiting_ack_for
         self._awaiting_ack_for = None
         frame = tx.frame
+        # Frame fate to the rate controller *before* the retry counter
+        # moves: ``frame.retries`` is the attempt this result belongs to.
+        self.control_plane.on_tx_result(frame, False, self.scheduler.now_us)
         frame.retries += 1
         self.collector.on_failure(self.name, frame.kind)
         if frame.retries > self.max_retries:
@@ -251,6 +259,10 @@ class NodeMac:
         now = self.scheduler.now_us
         if tx.kind in ("data", "control"):
             if not ok:
+                # Tag-Spotting path: silence-level control may still be
+                # recoverable below the data-decode threshold (no-op
+                # unless the scenario enables overhearing).
+                self.control_plane.on_frame_undecoded(tx, sinr_db, now)
                 return
             self.control_plane.on_frame_received(tx, sinr_db, now)
             # ACK after SIFS; ends fire at priority -1 so the pending
@@ -279,6 +291,7 @@ class NodeMac:
         self.collector.on_delivered(self.name, frame, now)
         if self.lens is not None:
             self.lens.on_deliver(self.name, frame, now)
+        self.control_plane.on_tx_result(frame, True, now)
         self.control_plane.on_frame_acked(frame, now)
         self._maybe_contend()
 

@@ -19,8 +19,14 @@ from repro.net.medium import MEDIUM_MODES
 from repro.net.topology import RadioSpec, Topology, Waypoint
 from repro.net.traffic import TRAFFIC_MODELS
 from repro.phy.params import RATE_TABLE
+from repro.ratectl import CONTROLLERS, available_controllers
+
+#: Frame-fate error models: analytic sigmoid vs measured-PHY surrogate
+#: tables (:class:`repro.net.sinr.SinrModel` over the committed table).
+ERROR_MODELS = ("sigmoid", "surrogate")
 
 __all__ = [
+    "ERROR_MODELS",
     "NodeSpec",
     "FlowSpec",
     "MobilitySpec",
@@ -141,6 +147,9 @@ class ScenarioSpec:
     medium_mode: str = "culled"  # "culled" | "dense-exact"
     beacon_interval_us: float = 102_400.0
     roam_hysteresis_db: float = 6.0
+    controller: Optional[str] = None  # None = legacy staircase-in-plane path
+    error_model: str = "sigmoid"  # "sigmoid" | "surrogate"
+    cos_overhear: bool = False  # Tag-Spotting: decode CoS below data SINR
 
     def __post_init__(self):
         names = [n.name for n in self.nodes]
@@ -209,6 +218,16 @@ class ScenarioSpec:
                 raise ValueError(f"traffic {t.src}->{t.dst} is a self-loop")
         if self.beacon_interval_us <= 0:
             raise ValueError("beacon_interval_us must be positive")
+        if self.controller is not None and self.controller not in CONTROLLERS:
+            raise ValueError(
+                f"unknown rate controller {self.controller!r}; available: "
+                f"{', '.join(available_controllers())}"
+            )
+        if self.error_model not in ERROR_MODELS:
+            raise ValueError(
+                f"unknown error_model {self.error_model!r}; available: "
+                f"{', '.join(ERROR_MODELS)}"
+            )
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -239,6 +258,14 @@ class ScenarioSpec:
     def with_fidelity(self, cos_fidelity: str) -> "ScenarioSpec":
         """The same scenario under another CoS fidelity mode."""
         return dataclasses.replace(self, cos_fidelity=cos_fidelity)
+
+    def with_controller(self, controller: Optional[str]) -> "ScenarioSpec":
+        """The same scenario under another rate controller."""
+        return dataclasses.replace(self, controller=controller)
+
+    def with_error_model(self, error_model: str) -> "ScenarioSpec":
+        """The same scenario under another frame-fate error model."""
+        return dataclasses.replace(self, error_model=error_model)
 
     # ------------------------------------------------------------------
     # Serialisation

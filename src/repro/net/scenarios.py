@@ -25,6 +25,18 @@ scenarios: a reuse-3 grid of cells with per-station Poisson uplink (the
 spatial-culling benchmark substrate), and a line of APs that two
 stations walk past end-to-end, roaming cell to cell (the
 association/roaming regression scenario).
+
+``cross-cell`` is the Tag-Spotting-style control-beyond-data-range
+scenario: two cells 120 m apart, whose APs exchange coordination
+traffic.  At that distance the cross-link arrives ~2 dB above noise —
+below the 4 dB capture gate, so **no cross-cell data frame ever
+decodes**, and below the -82 dBm carrier-sense threshold, so the cells
+cannot even hear each other (mutually hidden).  CoS silences embedded
+in those same frames, however, survive at ~2 dB (the 0.85 operating
+band), and ``cos_overhear=True`` lets a receiver scan the silence
+pattern of an *undecodable* frame — so under ``control="cos"`` the
+inter-AP control plane works while explicit control frames (ordinary
+data-rate frames at ~2 dB SINR) die with the data.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ __all__ = [
     "contention",
     "enterprise_grid",
     "campus_roaming",
+    "cross_cell",
 ]
 
 
@@ -254,11 +267,58 @@ def campus_roaming(
     )
 
 
+def cross_cell(
+    control: str = "cos",
+    separation_m: float = 120.0,
+    n_uplink_packets: int = 400,
+    n_cross_packets: int = 120,
+    payload_octets: int = 1024,
+    duration_us: float = 300_000.0,
+) -> ScenarioSpec:
+    """Two mutually-hidden cells whose APs coordinate across the gap.
+
+    Intra-cell uplinks carry the payload traffic (they are the OFDM
+    frames whose silences the CoS plane rides); the AP↔AP flows model a
+    thin coordination channel (channel selection, load balancing) whose
+    *data* frames can never decode — see the module docstring for the
+    link budget.  ``cos_overhear=True`` is what lets the far AP read
+    the silences off frames it cannot decode.
+    """
+    return ScenarioSpec(
+        name="cross-cell",
+        nodes=(
+            NodeSpec("ap_west", 0.0, 0.0),
+            NodeSpec("sta_west", 0.0, 10.0),
+            NodeSpec("ap_east", separation_m, 0.0),
+            NodeSpec("sta_east", separation_m, 10.0),
+        ),
+        flows=(
+            FlowSpec(src="sta_west", dst="ap_west",
+                     n_packets=n_uplink_packets,
+                     payload_octets=payload_octets, interval_us=700.0),
+            FlowSpec(src="sta_east", dst="ap_east",
+                     n_packets=n_uplink_packets,
+                     payload_octets=payload_octets, interval_us=700.0),
+            FlowSpec(src="ap_west", dst="ap_east",
+                     n_packets=n_cross_packets,
+                     payload_octets=256, interval_us=2500.0),
+            FlowSpec(src="ap_east", dst="ap_west",
+                     n_packets=n_cross_packets,
+                     payload_octets=256, interval_us=2500.0,
+                     start_us=1250.0),
+        ),
+        control=control,
+        duration_us=duration_us,
+        cos_overhear=True,
+    )
+
+
 BUILTIN_SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "hidden-node": hidden_node,
     "contention": contention,
     "enterprise-grid": enterprise_grid,
     "campus-roaming": campus_roaming,
+    "cross-cell": cross_cell,
 }
 
 

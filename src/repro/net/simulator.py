@@ -33,10 +33,11 @@ from repro.net.scenario import (
     TrafficSpec,
 )
 from repro.net.scheduler import EventScheduler
-from repro.net.sinr import ReceptionModel, SigmoidErrorModel
+from repro.net.sinr import ReceptionModel, SigmoidErrorModel, SinrModel
 from repro.net.traffic import arrival_times
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
+from repro.ratectl import CONTROLLERS, make_controller
 from repro.utils.rng import RngLike, make_rng
 
 __all__ = [
@@ -123,6 +124,7 @@ class NetResult:
     n_events: int
     n_roams: int = 0
     associations: Optional[Dict[str, str]] = None
+    controller: Optional[str] = None
     ledger: Optional[Dict] = None
     profile: Optional[Dict] = None
     events: Optional[List[Dict]] = None
@@ -198,6 +200,8 @@ class NetResult:
         if self.associations is not None:
             out["n_roams"] = self.n_roams
             out["associations"] = dict(self.associations)
+        if self.controller is not None:
+            out["controller"] = self.controller
         if self.ledger is not None:
             out["ledger"] = self.ledger
         if self.profile is not None:
@@ -288,10 +292,22 @@ class NetSimulator:
         self.lens = lens
         self.scheduler = EventScheduler()
         self.topology = spec.topology()
+        # Frame fates: analytic waterfall, or measured-PHY surrogate
+        # curves (SinrModel.prr is drop-in for SigmoidErrorModel.prr).
+        if spec.error_model == "surrogate":
+            error_model = SinrModel.default()
+        else:
+            error_model = SigmoidErrorModel()
         reception = ReceptionModel(
             capture_threshold_db=spec.radio.capture_threshold_db,
-            error_model=SigmoidErrorModel(),
+            error_model=error_model,
         )
+        # A controller class may pin its feedback transport ("cos" /
+        # "explicit"); None inherits the scenario's control mode.
+        ctrl_cls = CONTROLLERS.get(spec.controller) if spec.controller else None
+        self.control_mode = spec.control
+        if ctrl_cls is not None and ctrl_cls.transport is not None:
+            self.control_mode = ctrl_cls.transport
         if lens is not None and lens.profile:
             self.scheduler.profiler = lens.profiler
         self.collector = _Collector([n.name for n in spec.nodes])
@@ -303,8 +319,14 @@ class NetSimulator:
         )
 
         def _plane() -> ControlPlane:
+            # Fresh controller per plane: per-BSS rate state mirrors the
+            # per-BSS control planes (flows never span planes).
+            controller = (
+                make_controller(spec.controller, rng=self.rng)
+                if spec.controller else None
+            )
             return ControlPlane(
-                mode=spec.control,
+                mode=self.control_mode,
                 rng=self.rng,
                 collector=self.collector,
                 control_octets=spec.control_octets,
@@ -313,6 +335,8 @@ class NetSimulator:
                 cos_fidelity=spec.cos_fidelity,
                 max_embed_per_frame=spec.max_embed_per_frame,
                 lens=lens,
+                controller=controller,
+                overhear=spec.cos_overhear,
             )
 
         self.bss_runtime: Optional[BssRuntime] = None
@@ -428,12 +452,12 @@ class NetSimulator:
         if lens is not None:
             lens.on_run_start()
         with span("net.scenario", scenario=self.spec.name,
-                  control=self.spec.control, nodes=len(self.spec.nodes)):
+                  control=self.control_mode, nodes=len(self.spec.nodes)):
             end_us = self.scheduler.run(until_us=self.spec.duration_us)
         elapsed = self.collector.last_activity_us or end_us
         result = NetResult(
             scenario=self.spec.name,
-            control=self.spec.control,
+            control=self.control_mode,
             duration_us=self.spec.duration_us,
             elapsed_us=elapsed,
             per_node=self.collector.nodes,
@@ -443,6 +467,7 @@ class NetSimulator:
                      if self.bss_runtime is not None else 0),
             associations=(dict(self.bss_runtime.assoc)
                           if self.bss_runtime is not None else None),
+            controller=self.spec.controller,
         )
         if lens is not None:
             lens.finalize(end_us=self.scheduler.now_us,

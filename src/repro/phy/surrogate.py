@@ -48,6 +48,8 @@ __all__ = [
     "build_surrogate_table",
     "default_table_path",
     "load_default_table",
+    "profile_spec",
+    "profile_table_path",
 ]
 
 TABLE_VERSION = 1
@@ -419,3 +421,35 @@ def load_default_table() -> SurrogateTable:
             f"'repro net tables build' (or point {_TABLE_ENV} at one)"
         )
     return SurrogateTable.load(path)
+
+
+def profile_spec(profile: str) -> SurrogateSpec:
+    """The default-shaped measurement spec for a channel severity profile.
+
+    Profile ``"A"`` *is* the default spec; ``"B"``/``"C"`` sweep the
+    denser multipath profiles (both the data-PRR and the CoS-accuracy
+    probes move to that position, so the whole table describes one
+    environment).  Grids, seeds, and packet counts stay identical, so
+    profile tables differ only in what was measured — never in shape.
+    """
+    if profile not in ("A", "B", "C"):
+        raise ValueError(f"unknown channel profile {profile!r}; known: A, B, C")
+    return SurrogateSpec(position=profile, cos_position=profile)
+
+
+def profile_table_path(profile: str) -> Path:
+    """Where a profile's table lives.
+
+    ``"A"`` resolves through :func:`default_table_path` (committed
+    default or the ``REPRO_SURROGATE_TABLE`` override); ``"B"``/``"C"``
+    sit next to it as ``surrogate_profile_<P>.json``.  Activating a
+    profile table is pointing ``REPRO_SURROGATE_TABLE`` at it — which
+    also flows its content hash into the result-store salt
+    (:func:`repro.engine.store.store_salt`), so cached trials can never
+    replay across profiles.
+    """
+    if profile not in ("A", "B", "C"):
+        raise ValueError(f"unknown channel profile {profile!r}; known: A, B, C")
+    if profile == "A":
+        return default_table_path()
+    return _DEFAULT_TABLE.parent / f"surrogate_profile_{profile}.json"

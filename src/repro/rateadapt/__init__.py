@@ -1,6 +1,13 @@
-"""SNR-threshold data-rate adaptation (the paper's reference [6] scheme)."""
+"""SNR-threshold data-rate adaptation (the paper's reference [6] scheme).
 
-from repro.rateadapt.snr_rate_adaptation import (
+Compatibility alias: the implementation moved to
+:mod:`repro.ratectl.staircase` when rate control became a pluggable
+subsystem (see :mod:`repro.ratectl`).  Importing from here keeps
+working; the old submodule path ``repro.rateadapt.snr_rate_adaptation``
+also still resolves, with a ``DeprecationWarning``.
+"""
+
+from repro.ratectl.staircase import (
     DEFAULT_THRESHOLDS,
     RateAdapter,
     min_required_snr_db,

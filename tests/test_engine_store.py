@@ -280,6 +280,21 @@ class TestSweepReplay:
         assert b.hits == 0
         assert b.writes == 3
 
+    def test_profile_tables_rotate_the_salt(self, monkeypatch):
+        """Pointing REPRO_SURROGATE_TABLE at a profile table changes the
+        store salt, so cached trials can never replay across channel
+        profiles — no store-side special case needed."""
+        from repro.engine.store import store_salt
+        from repro.phy.surrogate import profile_table_path
+
+        fingerprints = set()
+        for profile in ("A", "B", "C"):
+            path = profile_table_path(profile)
+            assert path.exists(), f"profile {profile} table not committed"
+            monkeypatch.setenv("REPRO_SURROGATE_TABLE", str(path))
+            fingerprints.add(store_salt()["surrogate_table"])
+        assert len(fingerprints) == 3
+
 
 class TestBatchedSweepReplay:
     def test_batched_cold_then_warm_is_bit_for_bit(self, tmp_path):

@@ -22,6 +22,16 @@ class TestNetList:
         out = capsys.readouterr().out
         assert "hidden-node" in out
         assert "contention" in out
+        assert "cross-cell" in out
+
+    def test_lists_controllers(self, capsys):
+        from repro.ratectl import available_controllers
+
+        assert main(["net", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "controller" in out
+        for name in available_controllers():
+            assert name in out
 
 
 class TestNetRun:
@@ -60,6 +70,34 @@ class TestNetRun:
         assert summary["n_trials"] == 2
         metrics = json.loads(metrics_path.read_text())
         assert any("repro_net" in name for name in metrics)
+
+    def test_controller_flag(self, small_scenario_path, capsys):
+        assert main(["net", "run", small_scenario_path,
+                     "--controller", "minstrel",
+                     "--error-model", "surrogate", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "minstrel controller" in out
+        summary = json.loads(out[out.index("{"):])
+        assert summary["controller"] == "minstrel"
+
+    def test_unknown_controller_errors(self, small_scenario_path):
+        # The message naming the available set is pinned in
+        # tests/test_ratectl.py; here the CLI must refuse cleanly.
+        assert main(["net", "run", small_scenario_path,
+                     "--controller", "bogus"]) == 2
+
+    def test_controller_env_fallback(self, small_scenario_path, capsys,
+                                     monkeypatch):
+        monkeypatch.setenv("REPRO_CONTROLLER", "samplerate")
+        assert main(["net", "run", small_scenario_path]) == 0
+        assert "samplerate controller" in capsys.readouterr().out
+
+    def test_controller_flag_beats_env(self, small_scenario_path, capsys,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CONTROLLER", "samplerate")
+        assert main(["net", "run", small_scenario_path,
+                     "--controller", "minstrel"]) == 0
+        assert "minstrel controller" in capsys.readouterr().out
 
     def test_parallel_summary_matches_serial(self, small_scenario_path,
                                              tmp_path):
@@ -111,3 +149,56 @@ class TestNetTables:
         assert main(["net", "run", small_scenario_path,
                      "--fidelity", "surrogate"]) == 0
         assert "hidden-node" in capsys.readouterr().out
+
+    def test_build_profile_quick(self, tmp_path, capsys):
+        path = tmp_path / "profile_b.json"
+        assert main(["--quiet", "net", "tables", "build", "--quick",
+                     "--profile", "B", "--out", str(path)]) == 0
+        capsys.readouterr()
+        from repro.phy.surrogate import SurrogateTable
+
+        table = SurrogateTable.load(str(path))
+        assert table.spec.position == "B"
+        assert table.spec.cos_position == "B"
+
+    def test_committed_profile_tables_load(self):
+        from repro.phy.surrogate import (
+            SurrogateTable,
+            profile_spec,
+            profile_table_path,
+        )
+
+        for profile in ("B", "C"):
+            table = SurrogateTable.load(str(profile_table_path(profile)))
+            # Full-fidelity builds of the default-shaped spec, per profile.
+            assert table.spec_hash == profile_spec(profile).spec_hash()
+
+    def test_unknown_profile_rejected(self):
+        from repro.phy.surrogate import profile_spec, profile_table_path
+
+        for fn in (profile_spec, profile_table_path):
+            with pytest.raises(ValueError):
+                fn("D")
+
+
+class TestNetCompare:
+    def test_compare_two_controllers(self, small_scenario_path, capsys):
+        assert main([
+            "net", "compare", "--scenario", small_scenario_path,
+            "--controllers", "cos-feedback,explicit-feedback",
+            "--trials", "1", "--json", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Rate-controller matrix" in out
+        report = json.loads(out[out.index("{"):])
+        assert report["scenario"] == "hidden-node"
+        assert set(report["controllers"]) == {"cos-feedback",
+                                              "explicit-feedback"}
+
+    def test_compare_unknown_controller_errors(self, small_scenario_path):
+        assert main(["net", "compare", "--scenario", small_scenario_path,
+                     "--controllers", "bogus", "--trials", "1"]) == 2
+
+    def test_compare_unknown_scenario_errors(self):
+        assert main(["net", "compare", "--scenario", "no-such",
+                     "--trials", "1"]) == 2
